@@ -1,0 +1,120 @@
+// Application-layer bench: the statistics the paper lists as WSAF
+// consumers (§II) — super-spreader detection, flow-size entropy, and the
+// flow-size distribution — running on top of the measurement plane.
+//
+// Not a numbered paper figure; it demonstrates that the WSAF's contents
+// (elephants + mice samples) are sufficient for the downstream detectors
+// the paper motivates.
+#include "bench_common.h"
+
+#include "analysis/ground_truth.h"
+#include "apps/superspreader.h"
+#include "apps/traffic_stats.h"
+#include "core/instameasure.h"
+
+using namespace instameasure;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args{argc, argv};
+  const double scale = args.get_double("scale", 0.05);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  bench::print_header(
+      "Applications — super-spreader, entropy, flow-size distribution",
+      "the WSAF serves the anomaly detectors the paper motivates (§II)");
+
+  auto trace = trace::generate(trace::caida_like_config(scale, seed));
+  // Plant two scanners of different fan-out.
+  trace::ScanSpec big_scan;
+  big_scan.n_destinations = 8'000;
+  big_scan.start_s = 10.0;
+  big_scan.duration_s = 20.0;
+  big_scan.seed = seed + 1;
+  trace::ScanSpec small_scan;
+  small_scan.n_destinations = 1'500;
+  small_scan.start_s = 30.0;
+  small_scan.duration_s = 10.0;
+  small_scan.seed = seed + 2;
+  const auto big_src = inject_scan(trace, big_scan);
+  const auto small_src = inject_scan(trace, small_scan);
+  bench::print_trace_summary(trace);
+
+  // Measurement plane + applications in one pass.
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 32 * 1024;
+  config.wsaf.log2_entries = 20;
+  core::InstaMeasure engine{config};
+  apps::SuperSpreaderConfig ss_config;
+  ss_config.expected_contacts = 1 << 22;
+  apps::SuperSpreaderDetector spreaders{ss_config};
+  for (const auto& rec : trace.packets) {
+    engine.process(rec);
+    spreaders.offer(rec);
+  }
+
+  // --- super-spreaders ---
+  std::printf("\n--- super-spreaders (planted: %s with 8000 dsts, %s with "
+              "1500 dsts) ---\n",
+              netio::ipv4_to_string(big_src).c_str(),
+              netio::ipv4_to_string(small_src).c_str());
+  analysis::Table ss_table{{"rank", "source", "est distinct dsts"}};
+  const auto top = spreaders.top(4);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    ss_table.add_row({analysis::cell("%zu", i + 1),
+                      netio::ipv4_to_string(top[i].src_ip),
+                      analysis::cell("%.0f", top[i].distinct_dsts)});
+  }
+  ss_table.print();
+  bench::shape_check(!top.empty() && top[0].src_ip == big_src,
+                     "largest scanner ranked first");
+  bench::shape_check(top.size() >= 2 && top[1].src_ip == small_src,
+                     "second scanner ranked second");
+  bench::shape_check(
+      !top.empty() && std::abs(top[0].distinct_dsts / 8000.0 - 1.0) < 0.15,
+      "fan-out estimate within HLL tolerance");
+
+  // --- entropy ---
+  const analysis::GroundTruth truth{trace};
+  std::vector<double> truth_sizes;
+  for (const auto& [key, t] : truth.flows()) {
+    if (t.packets >= 150) truth_sizes.push_back(static_cast<double>(t.packets));
+  }
+  const double truth_h = apps::flow_size_entropy(truth_sizes);
+  const double est_h = apps::wsaf_entropy(engine.wsaf());
+  std::printf("\n--- flow-size entropy (measurable region, >=150 pkts) ---\n");
+  std::printf("truth: %.3f bits   wsaf estimate: %.3f bits\n", truth_h, est_h);
+  bench::shape_check(std::abs(est_h - truth_h) < 1.0,
+                     "entropy estimate within 1 bit of truth");
+
+  // --- flow-size distribution ---
+  std::printf("\n--- flow-size distribution (WSAF region) ---\n");
+  const std::vector<std::uint64_t> edges{200, 1'000, 10'000, 100'000};
+  const auto fsd = apps::flow_size_distribution(engine.wsaf(), edges);
+  analysis::Table fsd_table{{"bucket", "wsaf flows", "truth flows"}};
+  bool fsd_ok = true;
+  for (std::size_t i = 0; i < fsd.size(); ++i) {
+    const std::uint64_t lo = edges[i];
+    const std::uint64_t hi =
+        i + 1 < edges.size() ? edges[i + 1] : ~std::uint64_t{0};
+    std::uint64_t truth_flows = 0;
+    for (const auto& [key, t] : truth.flows()) {
+      if (t.packets >= lo && t.packets < hi) ++truth_flows;
+    }
+    fsd_table.add_row({analysis::cell("[%llu, %s)",
+                                      static_cast<unsigned long long>(lo),
+                                      i + 1 < edges.size()
+                                          ? std::to_string(edges[i + 1]).c_str()
+                                          : "inf"),
+                       util::format_count(fsd[i].flows),
+                       util::format_count(truth_flows)});
+    if (lo >= 1'000 && truth_flows > 0) {
+      const double ratio =
+          static_cast<double>(fsd[i].flows) / static_cast<double>(truth_flows);
+      if (ratio < 0.7 || ratio > 1.4) fsd_ok = false;
+    }
+  }
+  fsd_table.print();
+  bench::shape_check(fsd_ok,
+                     "elephant-region FSD within ~30% of truth per bucket");
+  return 0;
+}

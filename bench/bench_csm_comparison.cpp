@@ -1,0 +1,146 @@
+// §V.C "Comparison": CSM (randomized counter sharing, Li et al. 2011) with
+// 60MB — roughly twice InstaMeasure's largest configuration — decodes the
+// top-100 at 2.4% and top-1000 at 8.53% average error on a one-MINUTE
+// slice, and decoding every flow of the full trace did not terminate.
+//
+// Reproduction: run both schemes over the same slice, compare banded top-K
+// error, and extrapolate CSM's full-population decode cost from a measured
+// per-flow decode time.
+#include "bench_common.h"
+
+#include <functional>
+
+#include "analysis/ground_truth.h"
+#include "core/instameasure.h"
+#include "sketch/counter_tree.h"
+#include "sketch/csm.h"
+
+using namespace instameasure;
+
+namespace {
+
+double mean_topk_error(const analysis::GroundTruth& truth, std::size_t k,
+                       const std::function<double(const netio::FlowKey&)>& est) {
+  const auto keys = truth.top_k_keys(k, false);
+  double sum = 0;
+  for (const auto& key : keys) {
+    const double t = static_cast<double>(truth.find(key)->packets);
+    sum += std::abs(est(key) - t) / t;
+  }
+  return keys.empty() ? 0.0 : sum / static_cast<double>(keys.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args{argc, argv};
+  const double scale = args.get_double("scale", 0.1);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  bench::print_header(
+      "Table (§V.C) — CSM comparison",
+      "CSM with 2x InstaMeasure's memory: 2.4% top-100 / 8.53% top-1000 "
+      "error; whole-trace decode infeasible. InstaMeasure decodes online.");
+
+  const auto trace = trace::generate(trace::caida_like_config(scale, seed));
+  bench::print_trace_summary(trace);
+  const analysis::GroundTruth truth{trace};
+
+  // InstaMeasure with its largest paper configuration (2048KB sketch).
+  core::EngineConfig im_config;
+  im_config.regulator.l1_memory_bytes = 512 * 1024;
+  im_config.wsaf.log2_entries = 20;
+  core::InstaMeasure engine{im_config};
+  bench::WallTimer im_timer;
+  for (const auto& rec : trace.packets) engine.process(rec);
+  const double im_encode_s = im_timer.seconds();
+
+  // CSM with ~60MB (15M counters x 4B). The paper chose a per-flow vector
+  // of 10,000 counters "large enough to count the maximum flow size" — that
+  // choice is what makes CSM noisy (noise ~ l*N/m) and its decode heavy
+  // (10,000 counter reads per flow).
+  sketch::CsmConfig csm_config;
+  csm_config.pool_counters = 15'000'000;
+  csm_config.per_flow = 10'000;
+  csm_config.seed = seed;
+  sketch::CsmSketch csm{csm_config};
+  bench::WallTimer csm_timer;
+  for (const auto& rec : trace.packets) csm.add(rec.key.hash());
+  const double csm_encode_s = csm_timer.seconds();
+
+  // Counter Tree (the paper's cited prior multi-layer sketch [20]) at a
+  // comparable footprint: also offline decode, but layered carry instead of
+  // random counter sharing.
+  sketch::CounterTreeConfig tree_config;
+  tree_config.leaves = 1 << 18;  // 128KB leaves + 128KB parents (logical)
+  tree_config.leaf_bits = 4;
+  tree_config.degree = 8;
+  sketch::CounterTree tree{tree_config};
+  bench::WallTimer tree_timer;
+  for (const auto& rec : trace.packets) tree.add(rec.key.hash());
+  const double tree_encode_s = tree_timer.seconds();
+
+  const auto im_est = [&](const netio::FlowKey& key) {
+    return engine.query(key).packets;
+  };
+  const auto csm_est = [&](const netio::FlowKey& key) {
+    return csm.estimate(key.hash());
+  };
+  const auto tree_est = [&](const netio::FlowKey& key) {
+    return tree.estimate(key.hash());
+  };
+
+  analysis::Table table{{"scheme", "memory", "top-100 err", "top-1000 err",
+                         "encode (s)"}};
+  const double im_100 = mean_topk_error(truth, 100, im_est);
+  const double im_1000 = mean_topk_error(truth, 1000, im_est);
+  const double csm_100 = mean_topk_error(truth, 100, csm_est);
+  const double csm_1000 = mean_topk_error(truth, 1000, csm_est);
+  table.add_row({"InstaMeasure", util::format_bytes(engine.memory_bytes()),
+                 analysis::cell("%.2f%%", 100 * im_100),
+                 analysis::cell("%.2f%%", 100 * im_1000),
+                 analysis::cell("%.2f", im_encode_s)});
+  table.add_row({"CSM", util::format_bytes(csm.memory_bytes()),
+                 analysis::cell("%.2f%%", 100 * csm_100),
+                 analysis::cell("%.2f%%", 100 * csm_1000),
+                 analysis::cell("%.2f", csm_encode_s)});
+  const double tree_100 = mean_topk_error(truth, 100, tree_est);
+  const double tree_1000 = mean_topk_error(truth, 1000, tree_est);
+  table.add_row({"CounterTree", util::format_bytes(tree.memory_bytes()),
+                 analysis::cell("%.2f%%", 100 * tree_100),
+                 analysis::cell("%.2f%%", 100 * tree_1000),
+                 analysis::cell("%.2f", tree_encode_s)});
+  table.print();
+
+  // Decode-cost asymmetry: CSM must decode per flow offline (and needs the
+  // final total); InstaMeasure's counts are already in the WSAF.
+  bench::WallTimer decode_timer;
+  constexpr std::size_t kProbe = 2'000;
+  double sink = 0;
+  std::size_t probed = 0;
+  for (const auto& [key, t] : truth.flows()) {
+    sink += csm.estimate(key.hash());
+    if (++probed >= kProbe) break;
+  }
+  const double per_flow_us = decode_timer.seconds() * 1e6 / kProbe;
+  std::printf(
+      "\nCSM decode: %.2f us/flow (sink=%.0f) -> full 78M-flow CAIDA "
+      "population would need ~%.1f hours of pure decode, repeated every "
+      "query epoch — the paper's non-termination\n",
+      per_flow_us, sink, per_flow_us * 78e6 / 3600e6);
+  std::printf("InstaMeasure decode: O(1) per flow at query time (WSAF "
+              "lookup + residual), no global total required\n");
+  std::printf("note: CSM and CounterTree store no flow IDs — decoding "
+              "needs an externally-supplied key universe on top of the "
+              "offline pass; the WSAF holds IDs and counts together.\n");
+
+  bench::shape_check(im_100 < csm_100 && im_1000 < csm_1000,
+                     "InstaMeasure beats CSM on top-100 and top-1000 error");
+  bench::shape_check(csm_1000 > 2 * csm_100,
+                     "CSM error grows sharply with K (paper: 2.4% -> 8.53%)");
+  // At bench scale the top-1000 boundary sits on few-hundred-packet flows,
+  // so InstaMeasure's relative error there is a few % (paper's boundary
+  // flows are far larger); the ordering vs CSM is the reproducible shape.
+  bench::shape_check(im_1000 < 0.08, "InstaMeasure top-1000 error stays low");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig 10: packet-counting accuracy vs sketch memory, and packet top-K
+// recall.
+//
+// (a) Average relative error of per-flow packet counts after the full
+//     trace, for L1 memory 32KB..512KB (total 128KB..2048KB), in the
+//     paper's flow-size bands 10K+ / 100K+ / 1000K+ packets: error falls
+//     with memory and with flow size (paper: 0.19%..3.48%).
+// (b) Top-K recall (packet ranking) with a 10MB counter: mostly >95%.
+#include "bench_common.h"
+
+#include "analysis/ground_truth.h"
+#include "analysis/metrics.h"
+#include "core/instameasure.h"
+
+using namespace instameasure;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args{argc, argv};
+  const double scale = args.get_double("scale", 0.2);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  bench::print_header(
+      "Fig 10 — packet counter accuracy & packet top-K recall",
+      "(a) avg error falls with memory: 128KB -> 0.56%/1.54%/3.48% for "
+      "1000K+/100K+/10K+ flows, 2048KB -> 0.19%/0.58%/1.76%; (b) top-K "
+      "recall mostly >95%");
+
+  const auto trace = trace::generate(trace::caida_like_config(scale, seed));
+  bench::print_trace_summary(trace);
+  const analysis::GroundTruth truth{trace};
+  std::printf("flows: %s\n", util::format_count(truth.flow_count()).c_str());
+
+  const std::vector<std::uint64_t> bands{10'000, 100'000, 1'000'000};
+
+  // ---- (a) memory sweep ----
+  analysis::Table table{{"total sketch mem", "err 10K+ (n)", "err 100K+ (n)",
+                         "err 1000K+ (n)", "regulation"}};
+  double err_small_first = 0, err_small_last = 0;
+  double err_big_last = 0, err_small_band_last = 0;
+  const std::vector<std::size_t> l1_sizes{32, 64, 128, 256, 512};
+  for (std::size_t i = 0; i < l1_sizes.size(); ++i) {
+    core::EngineConfig config;
+    config.regulator.l1_memory_bytes = l1_sizes[i] * 1024;
+    config.wsaf.log2_entries = 20;
+    core::InstaMeasure engine{config};
+    for (const auto& rec : trace.packets) engine.process(rec);
+
+    const auto errors = analysis::banded_errors(
+        truth,
+        [&](const netio::FlowKey& key) { return engine.query(key).packets; },
+        bands, /*by_bytes=*/false);
+    table.add_row(
+        {util::format_bytes(config.regulator.total_memory_bytes()),
+         analysis::cell("%.2f%% (%llu)", 100 * errors[0].mean_abs_rel_error,
+                        static_cast<unsigned long long>(errors[0].flows)),
+         analysis::cell("%.2f%% (%llu)", 100 * errors[1].mean_abs_rel_error,
+                        static_cast<unsigned long long>(errors[1].flows)),
+         analysis::cell("%.2f%% (%llu)", 100 * errors[2].mean_abs_rel_error,
+                        static_cast<unsigned long long>(errors[2].flows)),
+         analysis::cell("%.2f%%", 100 * engine.regulator().regulation_rate())});
+    if (i == 0) err_small_first = errors[0].mean_abs_rel_error;
+    if (i + 1 == l1_sizes.size()) {
+      err_small_last = errors[0].mean_abs_rel_error;
+      err_small_band_last = errors[0].mean_abs_rel_error;
+      err_big_last = errors[2].flows ? errors[2].mean_abs_rel_error
+                                     : errors[1].mean_abs_rel_error;
+    }
+  }
+  table.print();
+
+  bench::shape_check(err_small_last < err_small_first,
+                     "more memory -> lower error (10K+ band)");
+  bench::shape_check(err_big_last < err_small_band_last,
+                     "bigger flows measure more accurately");
+  bench::shape_check(err_big_last < 0.02,
+                     "largest band error under ~2% (paper: 0.19-0.56%)");
+
+  // ---- (b) top-K recall with a 10MB counter ----
+  std::printf("\n--- Fig 10(b): packet top-K recall (10MB counter) ---\n");
+  core::EngineConfig big_config;
+  big_config.regulator.l1_memory_bytes = 2560 * 1024;  // 10MB total
+  big_config.wsaf.log2_entries = 20;
+  core::InstaMeasure engine{big_config};
+  for (const auto& rec : trace.packets) engine.process(rec);
+
+  // Rank candidates by the full online estimate (WSAF record + regulator
+  // residual): flows below the ~100-packet retention capacity never insert
+  // into the WSAF, so deep-K boundaries are decided by residual decoding —
+  // exactly what "online decoding" buys. Candidates are the trace's flows
+  // (the paper evaluates against its recorded trace the same way).
+  std::vector<std::pair<double, netio::FlowKey>> ranked;
+  ranked.reserve(truth.flow_count());
+  for (const auto& [key, t] : truth.flows()) {
+    ranked.emplace_back(engine.query(key).packets, key);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  analysis::Table recall_table{{"K", "recall"}};
+  double recall_10k = 0;
+  // Paper evaluates up to top-1M on 78M flows; we scale K to the synthetic
+  // population (top-K must rank above the 1-packet mice tie plateau).
+  for (const std::size_t k : {100u, 1'000u, 10'000u}) {
+    if (k > truth.flow_count() / 4) break;
+    const auto truth_top = truth.top_k_keys(k, false);
+    std::vector<netio::FlowKey> est_top;
+    est_top.reserve(k);
+    for (std::size_t i = 0; i < k && i < ranked.size(); ++i) {
+      est_top.push_back(ranked[i].second);
+    }
+    const double recall = analysis::top_k_recall(truth_top, est_top);
+    if (k == 10'000) recall_10k = recall;
+    recall_table.add_row(
+        {util::format_count(k), analysis::cell("%.1f%%", 100 * recall)});
+  }
+  recall_table.print();
+  bench::shape_check(recall_10k > 0.80,
+                     "deep top-K recall stays high (paper: mostly >95%; the "
+                     "synthetic tail is tie-denser than CAIDA's)");
+  return 0;
+}

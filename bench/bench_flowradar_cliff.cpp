@@ -1,0 +1,105 @@
+// Related-work comparison (paper §VI): FlowRadar vs InstaMeasure.
+//
+// FlowRadar keeps {ips = pps} but makes each insertion constant-time via
+// an IBLT; the price is a *decode cliff*: once the number of active flows
+// exceeds the IBLT peeling threshold, the whole table becomes undecodable
+// at once. InstaMeasure relaxes the rate instead; its WSAF degrades
+// gracefully (eviction of mice) and elephants stay measurable at any flow
+// count. This bench sweeps the flow count at fixed memory and plots both
+// systems' ability to answer "what are the flows and their sizes".
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "analysis/ground_truth.h"
+#include "baselines/flowradar.h"
+#include "core/instameasure.h"
+
+using namespace instameasure;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args{argc, argv};
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  bench::print_header(
+      "Related work — FlowRadar decode cliff vs WSAF graceful degradation",
+      "FlowRadar (NSDI'16) decodes exactly below the IBLT threshold and "
+      "not at all above it; the in-DRAM WSAF keeps answering for elephants "
+      "at any population");
+
+  // Fixed memory: FlowRadar 2^16 cells (~1.3MB) vs an InstaMeasure with a
+  // WSAF of 2^15 entries (~1.1MB logical) + 128KB sketch.
+  constexpr std::size_t kCells = 1 << 16;
+
+  analysis::Table table{{"flows", "IBLT load", "FlowRadar decode",
+                         "FR flows recovered", "IM elephant err",
+                         "IM elephants seen"}};
+  bool cliff_seen = false, pre_cliff_exact = false, im_survives = true;
+
+  for (const std::size_t n_flows :
+       {20'000u, 40'000u, 52'000u, 60'000u, 120'000u, 250'000u}) {
+    // Workload: n_flows mice + 20 fixed elephants of 5000 packets.
+    trace::TraceConfig config;
+    config.duration_s = 10.0;
+    config.tiers = {{20, 5'000, 5'000}};
+    config.mice = {n_flows, 1.05, 20};
+    config.seed = seed;
+    const auto trace = trace::generate(config);
+    const analysis::GroundTruth truth{trace};
+
+    baselines::FlowRadarConfig fr_config;
+    fr_config.counting_cells = kCells;
+    fr_config.expected_flows = 1 << 19;
+    baselines::FlowRadar radar{fr_config};
+    for (const auto& rec : trace.packets) radar.offer(rec.key.hash());
+    const auto decode = radar.decode();
+
+    core::EngineConfig im_config;
+    im_config.regulator.l1_memory_bytes = 32 * 1024;
+    im_config.wsaf.log2_entries = 15;
+    core::InstaMeasure engine{im_config};
+    for (const auto& rec : trace.packets) engine.process(rec);
+
+    // Elephants: mean |err| and visibility through the WSAF.
+    double err_sum = 0;
+    std::size_t elephants = 0, visible = 0;
+    for (const auto& [key, t] : truth.flows()) {
+      if (t.packets < 4'000) continue;
+      ++elephants;
+      const auto est = engine.query(key);
+      if (est.in_wsaf) ++visible;
+      err_sum += std::abs(est.packets - static_cast<double>(t.packets)) /
+                 static_cast<double>(t.packets);
+    }
+    const double im_err = elephants ? err_sum / static_cast<double>(elephants)
+                                    : 0.0;
+    const double load =
+        static_cast<double>(truth.flow_count()) / static_cast<double>(kCells);
+
+    table.add_row(
+        {util::format_count(truth.flow_count()),
+         analysis::cell("%.2f", load),
+         decode.complete ? "complete (exact)" : "FAILED",
+         util::format_count(decode.flows.size()),
+         analysis::cell("%.2f%%", 100 * im_err),
+         analysis::cell("%zu/%zu", visible, elephants)});
+
+    if (load < 0.75 && decode.complete) pre_cliff_exact = true;
+    if (load > 1.0 && !decode.complete) cliff_seen = true;
+    if (visible != elephants || im_err > 0.10) im_survives = false;
+  }
+  table.print();
+
+  bench::shape_check(pre_cliff_exact,
+                     "FlowRadar decodes exactly below the IBLT threshold");
+  bench::shape_check(cliff_seen,
+                     "FlowRadar hits the decode cliff once flows exceed the "
+                     "table (its scalability limit)");
+  bench::shape_check(im_survives,
+                     "InstaMeasure keeps every elephant measurable (<10% "
+                     "err) at every population — graceful degradation");
+  std::printf("\nencode-side: FlowRadar ips = pps by design; InstaMeasure "
+              "regulates ips to ~1%% — the two opposite answers to the WSAF "
+              "speed problem (paper §VI)\n");
+  return 0;
+}

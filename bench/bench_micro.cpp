@@ -1,0 +1,191 @@
+// Micro-benchmarks (google-benchmark) for the fast-path primitives.
+//
+// These quantify the per-packet budget behind Fig 9(a): one FlowKey hash,
+// one or two sketch word accesses, and a rare WSAF accumulate. The paper's
+// 18.9 Mpps on a 2.4 GHz Atom is ~127 cycles/packet; the per-op costs here
+// show where those cycles go on the build host.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <span>
+
+#include "core/flow_regulator.h"
+#include "core/instameasure.h"
+#include "core/wsaf_table.h"
+#include "runtime/spsc_queue.h"
+#include "netio/codec.h"
+#include "sketch/counter_tree.h"
+#include "sketch/countmin.h"
+#include "sketch/csm.h"
+#include "sketch/rcc.h"
+#include "util/rng.h"
+
+using namespace instameasure;
+
+namespace {
+
+netio::FlowKey key_from(std::uint64_t v) {
+  return netio::FlowKey{static_cast<std::uint32_t>(v),
+                        static_cast<std::uint32_t>(v >> 32),
+                        static_cast<std::uint16_t>(v >> 16),
+                        static_cast<std::uint16_t>(v >> 48), 6};
+}
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key_from(++i).hash());
+  }
+}
+BENCHMARK(BM_FlowKeyHash);
+
+void BM_VvLayout(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::make_layout(++i, 1 << 14, 8));
+  }
+}
+BENCHMARK(BM_VvLayout);
+
+void BM_RccEncode(benchmark::State& state) {
+  sketch::RccConfig config;
+  config.memory_bytes = 128 * 1024;
+  sketch::RccSketch rcc{config};
+  util::SplitMix64 hashes{1};
+  // 64 recurring flows: realistic word reuse.
+  std::array<sketch::VvLayout, 64> layouts;
+  for (auto& l : layouts) l = rcc.layout_of(hashes());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcc.encode(layouts[++i & 63]));
+  }
+}
+BENCHMARK(BM_RccEncode);
+
+void BM_FlowRegulatorOffer(benchmark::State& state) {
+  core::FlowRegulatorConfig config;
+  config.l1_memory_bytes = 32 * 1024;
+  core::FlowRegulator fr{config};
+  util::SplitMix64 hashes{2};
+  std::array<std::uint64_t, 64> flows;
+  for (auto& f : flows) f = hashes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fr.offer(flows[++i & 63], 500));
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlowRegulatorOffer);
+
+void BM_WsafAccumulate(benchmark::State& state) {
+  core::WsafConfig config;
+  config.log2_entries = 20;
+  core::WsafTable table{config};
+  util::SplitMix64 seeds{3};
+  std::array<netio::FlowKey, 256> keys;
+  std::array<std::uint64_t, 256> hashes;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = key_from(seeds());
+    hashes[i] = keys[i].hash();
+  }
+  std::size_t i = 0;
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    const auto j = ++i & 255;
+    benchmark::DoNotOptimize(
+        table.accumulate(keys[j], hashes[j], 100.0, 50'000.0, ++now));
+  }
+}
+BENCHMARK(BM_WsafAccumulate);
+
+void BM_EngineProcess(benchmark::State& state) {
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 32 * 1024;
+  config.wsaf.log2_entries = 20;
+  core::InstaMeasure engine{config};
+  util::SplitMix64 seeds{4};
+  std::array<netio::PacketRecord, 256> packets;
+  for (auto& p : packets) {
+    p.key = key_from(seeds());
+    p.wire_len = 500;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto& p = packets[++i & 255];
+    p.timestamp_ns = i;
+    engine.process(p);
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineProcess);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  sketch::CountMinSketch cm{sketch::CountMinConfig{1 << 16, 4, 1}};
+  std::uint64_t i = 0;
+  for (auto _ : state) cm.add(util::mix64(++i));
+  benchmark::DoNotOptimize(cm.total());
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_CsmAdd(benchmark::State& state) {
+  sketch::CsmSketch csm{sketch::CsmConfig{1 << 22, 16, 1}};
+  std::uint64_t i = 0;
+  for (auto _ : state) csm.add(util::mix64(++i));
+  benchmark::DoNotOptimize(csm.total());
+}
+BENCHMARK(BM_CsmAdd);
+
+void BM_CsmDecode(benchmark::State& state) {
+  sketch::CsmSketch csm{sketch::CsmConfig{1 << 22, 16, 1}};
+  util::SplitMix64 keys{5};
+  for (int i = 0; i < 1'000'000; ++i) csm.add(keys());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csm.estimate(util::mix64(++i)));
+  }
+}
+BENCHMARK(BM_CsmDecode);
+
+void BM_CounterTreeAdd(benchmark::State& state) {
+  sketch::CounterTree tree{sketch::CounterTreeConfig{1 << 20, 4, 8, 1}};
+  std::uint64_t i = 0;
+  for (auto _ : state) tree.add(util::mix64(++i));
+  benchmark::DoNotOptimize(tree.total());
+}
+BENCHMARK(BM_CounterTreeAdd);
+
+void BM_SpscBurstRoundTrip(benchmark::State& state) {
+  runtime::SpscQueue<std::uint64_t> q{1024};
+  std::array<std::uint64_t, 32> burst{};
+  for (std::size_t i = 0; i < burst.size(); ++i) burst[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_push_burst(std::span{burst}));
+    benchmark::DoNotOptimize(q.try_pop_burst(std::span{burst}));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SpscBurstRoundTrip);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const auto key = key_from(0x1234567890ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netio::encode_frame(key, 500));
+  }
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto frame = netio::encode_frame(key_from(0xABCDEF), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netio::decode_frame(frame));
+  }
+}
+BENCHMARK(BM_FrameDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

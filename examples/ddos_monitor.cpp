@@ -1,0 +1,90 @@
+// DDoS monitor: the paper's motivating scenario (§I) — at 100 Gbps a
+// 100 ms detection delay lets ~1.2 GB of attack traffic through, so
+// detection latency is money.
+//
+// This example injects volumetric attacks of varying intensity into
+// benign background traffic, runs InstaMeasure's online (saturation-based)
+// detector next to a conventional delegation-based pipeline, and prints
+// how much attack traffic each design lets through before raising the
+// alarm.
+//
+// Usage: ./examples/ddos_monitor [--attacks=4] [--threshold=500]
+#include <cstdio>
+#include <vector>
+
+#include "analysis/latency.h"
+#include "trace/generator.h"
+#include "util/cli.h"
+#include "util/format.h"
+
+using namespace instameasure;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args{argc, argv};
+  const auto n_attacks = static_cast<int>(args.get_int("attacks", 4));
+  const double threshold = args.get_double("threshold", 500);
+
+  std::printf("=== InstaMeasure DDoS monitor ===\n");
+
+  // Benign background: campus-like mice + a few legitimate elephants.
+  trace::TraceConfig background;
+  background.duration_s = 3.0;
+  background.tiers = {{5, 5'000, 20'000}};
+  background.mice = {30'000, 1.05, 30};
+  background.seed = 2024;
+  auto trace = trace::generate(background);
+
+  // Attackers: increasing intensity, staggered onsets, 512B floods.
+  struct Attack {
+    netio::FlowKey key;
+    double rate_pps;
+    double start_s;
+  };
+  std::vector<Attack> attacks;
+  for (int i = 0; i < n_attacks; ++i) {
+    trace::AttackSpec spec;
+    spec.rate_pps = 20'000.0 * (i + 1);
+    spec.start_s = 0.3 + 0.5 * i;
+    spec.duration_s = 1.2;
+    spec.packet_len = 512;
+    spec.seed = 7'000 + static_cast<std::uint64_t>(i);
+    const auto key = inject_attack(trace, spec);
+    attacks.push_back({key, spec.rate_pps, spec.start_s});
+  }
+  std::printf("background + %d attack flows, %zu packets total\n\n",
+              n_attacks, trace.packets.size());
+
+  // Detect with both strategies.
+  analysis::LatencyConfig config;
+  config.packet_threshold = threshold;
+  config.epoch_ms = 10.0;          // delegation flush period
+  config.network_delay_ms = 20.0;  // collector round trip
+  config.engine.regulator.l1_memory_bytes = 32 * 1024;
+  config.engine.wsaf.log2_entries = 18;
+
+  std::vector<netio::FlowKey> watched;
+  for (const auto& a : attacks) watched.push_back(a.key);
+  const auto rows = analysis::measure_detection_latency(trace, watched, config);
+
+  std::printf("%-10s %-12s %-16s %-16s %-24s\n", "attack", "rate",
+              "InstaMeasure", "delegation", "leakage saved");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const double rate = attacks[i].rate_pps;
+    const double sat_ms = row.saturation_delay_ms().value_or(-1);
+    const double del_ms = row.delegation_delay_ms().value_or(-1);
+    // Bytes of attack traffic admitted between the two alarm times.
+    const double saved_bytes =
+        (del_ms - sat_ms) / 1e3 * rate * 512.0;
+    std::printf("#%-9zu %-12s %13.2f ms %13.1f ms   %s less attack traffic\n",
+                i + 1, util::format_rate(rate).c_str(), sat_ms, del_ms,
+                util::format_bytes(static_cast<std::uint64_t>(
+                                       std::max(0.0, saved_bytes)))
+                    .c_str());
+  }
+
+  std::printf("\nThe online detector needs no collector round trip: the "
+              "moment a FlowRegulator saturation pushes the WSAF counter "
+              "over T, the alarm fires — the paper's 'Insta'.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full-scale reproduction run: paper-sized synthetic traces (~60M packets,
+# ~1.2M flows for the CAIDA-like workload). Expect tens of minutes and
+# several GB of RAM. The quick defaults used by `for b in build/bench/*`
+# finish in a few minutes; this script is for the patient.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+SCALE=${SCALE:-1.0}
+OUT=${OUT:-full_scale_output.txt}
+
+cmake -B "$BUILD" -G Ninja >/dev/null
+cmake --build "$BUILD" >/dev/null
+
+{
+  echo "=== full-scale run: scale=$SCALE $(date -u +%FT%TZ) ==="
+  for b in "$BUILD"/bench/*; do
+    case "$(basename "$b")" in
+      bench_micro) "$b" ;;                       # scale-independent
+      *) "$b" --scale="$SCALE" ;;
+    esac
+  done
+} 2>&1 | tee "$OUT"
+
+echo "full-scale results written to $OUT"

@@ -1,0 +1,40 @@
+#include "analysis/ground_truth.h"
+
+#include <algorithm>
+
+namespace instameasure::analysis {
+
+std::vector<netio::FlowKey> GroundTruth::top_k_keys(std::size_t k,
+                                                    bool by_bytes) const {
+  std::vector<std::pair<std::uint64_t, netio::FlowKey>> ranked;
+  ranked.reserve(flows_.size());
+  for (const auto& [key, truth] : flows_) {
+    ranked.emplace_back(by_bytes ? truth.bytes : truth.packets, key);
+  }
+  const auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
+  if (ranked.size() > k) {
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), cmp);
+    ranked.resize(k);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), cmp);
+  }
+  std::vector<netio::FlowKey> keys;
+  keys.reserve(ranked.size());
+  for (const auto& [count, key] : ranked) keys.push_back(key);
+  return keys;
+}
+
+std::optional<std::uint64_t> GroundTruth::crossing_time_ns(
+    const trace::Trace& trace, const netio::FlowKey& key, double threshold,
+    bool by_bytes) {
+  double running = 0;
+  for (const auto& rec : trace.packets) {
+    if (rec.key != key) continue;
+    running += by_bytes ? static_cast<double>(rec.wire_len) : 1.0;
+    if (running >= threshold) return rec.timestamp_ns;
+  }
+  return std::nullopt;
+}
+
+}  // namespace instameasure::analysis

@@ -1,0 +1,75 @@
+// Exact per-flow accounting — the evaluation oracle.
+//
+// This is the "packet-arrival-based decoding" baseline of the paper: a full
+// per-packet exact counter. Infeasible as a line-rate production design (the
+// whole point of FlowRegulator), but exactly what the evaluation needs for
+// error, recall, and detection-latency ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/packet.h"
+#include "trace/trace.h"
+
+namespace instameasure::analysis {
+
+struct FlowTruth {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t first_ns = 0;
+  std::uint64_t last_ns = 0;
+};
+
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Build from a full trace in one pass.
+  explicit GroundTruth(const trace::Trace& trace) {
+    flows_.reserve(trace.packets.size() / 8 + 16);
+    for (const auto& rec : trace.packets) add(rec);
+  }
+
+  void add(const netio::PacketRecord& rec) {
+    auto [it, inserted] = flows_.try_emplace(rec.key);
+    auto& t = it->second;
+    if (inserted) t.first_ns = rec.timestamp_ns;
+    ++t.packets;
+    t.bytes += rec.wire_len;
+    t.last_ns = rec.timestamp_ns;
+  }
+
+  [[nodiscard]] const FlowTruth* find(const netio::FlowKey& key) const {
+    const auto it = flows_.find(key);
+    return it == flows_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return flows_.size();
+  }
+
+  [[nodiscard]] const std::unordered_map<netio::FlowKey, FlowTruth,
+                                         netio::FlowKeyHash>&
+  flows() const noexcept {
+    return flows_;
+  }
+
+  /// Keys of the K largest flows by packets or bytes, descending.
+  [[nodiscard]] std::vector<netio::FlowKey> top_k_keys(std::size_t k,
+                                                       bool by_bytes) const;
+
+  /// The trace time at which flow `key` exactly crossed `threshold` packets
+  /// (or bytes) — the packet-arrival detection time. Requires a re-scan of
+  /// the trace; nullopt if the flow never crosses.
+  [[nodiscard]] static std::optional<std::uint64_t> crossing_time_ns(
+      const trace::Trace& trace, const netio::FlowKey& key, double threshold,
+      bool by_bytes);
+
+ private:
+  std::unordered_map<netio::FlowKey, FlowTruth, netio::FlowKeyHash> flows_;
+};
+
+}  // namespace instameasure::analysis

@@ -1,0 +1,89 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace instameasure::analysis {
+
+std::vector<ErrorBand> banded_errors(
+    const GroundTruth& truth, const Estimator& estimator,
+    const std::vector<std::uint64_t>& band_thresholds, bool by_bytes) {
+  std::vector<std::uint64_t> bands = band_thresholds;
+  std::sort(bands.begin(), bands.end());
+  if (bands.empty()) return {};
+  std::vector<util::StreamingStats> abs_stats(bands.size());
+  std::vector<util::StreamingStats> signed_stats(bands.size());
+
+  for (const auto& [key, t] : truth.flows()) {
+    const auto size = by_bytes ? t.bytes : t.packets;
+    if (size < bands.front()) continue;
+    // Highest band whose threshold the flow reaches.
+    std::size_t band = 0;
+    while (band + 1 < bands.size() && size >= bands[band + 1]) ++band;
+    const double est = estimator(key);
+    const double rel =
+        (est - static_cast<double>(size)) / static_cast<double>(size);
+    abs_stats[band].add(std::abs(rel));
+    signed_stats[band].add(rel);
+  }
+
+  std::vector<ErrorBand> out;
+  out.reserve(bands.size());
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    ErrorBand band;
+    band.min_size = bands[i];
+    band.flows = abs_stats[i].count();
+    band.mean_abs_rel_error = abs_stats[i].mean();
+    band.std_error = signed_stats[i].stddev();
+    band.mean_rel_bias = signed_stats[i].mean();
+    out.push_back(band);
+  }
+  return out;
+}
+
+double top_k_recall(const std::vector<netio::FlowKey>& truth_top,
+                    const std::vector<netio::FlowKey>& est_top) {
+  if (truth_top.empty()) return 1.0;
+  std::unordered_set<netio::FlowKey, netio::FlowKeyHash> est_set(
+      est_top.begin(), est_top.end());
+  std::uint64_t hits = 0;
+  for (const auto& key : truth_top) {
+    if (est_set.contains(key)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_top.size());
+}
+
+HhAccuracy heavy_hitter_accuracy(const GroundTruth& truth,
+                                 const std::vector<netio::FlowKey>& detected,
+                                 double threshold, bool by_bytes) {
+  HhAccuracy acc;
+  std::unordered_set<netio::FlowKey, netio::FlowKeyHash> detected_set(
+      detected.begin(), detected.end());
+  acc.detected_count = detected_set.size();
+  for (const auto& [key, t] : truth.flows()) {
+    const double size =
+        static_cast<double>(by_bytes ? t.bytes : t.packets);
+    const bool is_hh = size >= threshold;
+    const bool was_detected = detected_set.contains(key);
+    if (is_hh) {
+      ++acc.true_hh_count;
+      if (was_detected) {
+        ++acc.true_positives;
+      } else {
+        ++acc.false_negatives;
+      }
+      if (was_detected) detected_set.erase(key);
+    }
+  }
+  // Remaining detections are flows below threshold (or unseen keys): FPs.
+  for (const auto& key : detected_set) {
+    const auto* t = truth.find(key);
+    const double size =
+        t ? static_cast<double>(by_bytes ? t->bytes : t->packets) : 0.0;
+    if (size < threshold) ++acc.false_positives;
+  }
+  return acc;
+}
+
+}  // namespace instameasure::analysis

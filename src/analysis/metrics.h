@@ -1,0 +1,70 @@
+// Evaluation metrics: banded relative error, top-K recall, HH FP/FN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/ground_truth.h"
+#include "util/stats.h"
+
+namespace instameasure::analysis {
+
+/// Per-band relative-error summary. Bands are defined by inclusive lower
+/// thresholds on the *true* flow size, evaluated largest-first, e.g.
+/// {10'000, 100'000, 1'000'000} reproduces the paper's 10K+/100K+/1000K+
+/// packet bands (each flow lands in the highest band it reaches).
+struct ErrorBand {
+  std::uint64_t min_size = 0;
+  std::uint64_t flows = 0;
+  double mean_abs_rel_error = 0;  ///< mean |est - true| / true  (Figs 10/11)
+  double std_error = 0;           ///< standard error of the rel. error (Fig 13)
+  double mean_rel_bias = 0;       ///< signed mean (est - true) / true
+};
+
+/// Estimator callback: returns the estimated size (packets or bytes) for a
+/// flow key; called once per ground-truth flow above the smallest band.
+using Estimator = std::function<double(const netio::FlowKey&)>;
+
+/// Evaluate banded errors over all flows whose true size (packets or bytes,
+/// per `by_bytes`) reaches at least the smallest band threshold.
+[[nodiscard]] std::vector<ErrorBand> banded_errors(
+    const GroundTruth& truth, const Estimator& estimator,
+    const std::vector<std::uint64_t>& band_thresholds, bool by_bytes);
+
+/// Standard recall of an estimated top-K list against the true top-K:
+/// |est ∩ true| / K (the paper's Fig 10/11 recall metric).
+[[nodiscard]] double top_k_recall(const std::vector<netio::FlowKey>& truth_top,
+                                  const std::vector<netio::FlowKey>& est_top);
+
+/// Heavy-hitter confusion summary at a threshold.
+struct HhAccuracy {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  std::uint64_t true_hh_count = 0;   ///< TP + FN
+  std::uint64_t detected_count = 0;  ///< TP + FP
+  /// FP share of detections (precision complement) — small when mice rarely
+  /// leak over the threshold, the Fig 14 claim.
+  [[nodiscard]] double fp_rate() const noexcept {
+    return detected_count
+               ? static_cast<double>(false_positives) /
+                     static_cast<double>(detected_count)
+               : 0.0;
+  }
+  /// FN share of true heavy hitters (recall complement).
+  [[nodiscard]] double fn_rate() const noexcept {
+    return true_hh_count ? static_cast<double>(false_negatives) /
+                               static_cast<double>(true_hh_count)
+                         : 0.0;
+  }
+};
+
+/// Compare a detected set against ground truth at `threshold` on packets or
+/// bytes. `detected` is the set of flows the system reported.
+[[nodiscard]] HhAccuracy heavy_hitter_accuracy(
+    const GroundTruth& truth, const std::vector<netio::FlowKey>& detected,
+    double threshold, bool by_bytes);
+
+}  // namespace instameasure::analysis

@@ -1,0 +1,62 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench prints the same row/series structure as the paper's figure it
+// reproduces; this helper keeps the formatting consistent and legible.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace instameasure::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::fputc('|', out);
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::fputc('\n', out);
+    };
+    print_row(headers_);
+    std::fputs("|", out);
+    for (const auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      std::fputc('|', out);
+    }
+    std::fputc('\n', out);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style cell helper.
+template <typename... Args>
+[[nodiscard]] std::string cell(const char* fmt, Args... args) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+}  // namespace instameasure::analysis

@@ -1,0 +1,105 @@
+// Super-spreader detection (paper §II: one of the applications that needs
+// samples of mice flows — a scanner's flows are all mice).
+//
+// Composition of three substrates:
+//  - a Bloom filter screens (src, dst) pairs so only *new* contacts count;
+//  - Space-Saving tracks the sources with the most new contacts;
+//  - a HyperLogLog per tracked source estimates its distinct-destination
+//    cardinality precisely.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/packet.h"
+#include "util/hash.h"
+#include "sketch/bloom.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/spacesaving.h"
+
+namespace instameasure::apps {
+
+struct SuperSpreaderConfig {
+  std::size_t tracked_sources = 256;    ///< Space-Saving capacity
+  std::size_t expected_contacts = 1 << 20;
+  double bloom_fp_rate = 0.01;
+  unsigned hll_precision = 10;
+  std::uint64_t seed = 0x55aa;
+};
+
+struct Spreader {
+  std::uint32_t src_ip = 0;
+  double distinct_dsts = 0;  ///< HLL estimate
+};
+
+class SuperSpreaderDetector {
+ public:
+  explicit SuperSpreaderDetector(const SuperSpreaderConfig& config)
+      : config_(config),
+        seen_(config.expected_contacts, config.bloom_fp_rate),
+        heavy_sources_(config.tracked_sources) {}
+
+  void offer(const netio::PacketRecord& rec) {
+    const std::uint64_t contact =
+        (static_cast<std::uint64_t>(rec.key.src_ip) << 32) | rec.key.dst_ip;
+    const std::uint64_t contact_hash =
+        util::mix64(contact ^ config_.seed);
+    if (seen_.maybe_contains(contact_hash)) return;  // repeat contact
+    seen_.insert(contact_hash);
+
+    heavy_sources_.add(rec.key.src_ip);
+    if (heavy_sources_.contains(rec.key.src_ip)) {
+      auto [it, added] = hlls_.try_emplace(rec.key.src_ip,
+                                           config_.hll_precision);
+      it->second.add(util::mix64(rec.key.dst_ip ^ (config_.seed << 1)));
+      // Bound the HLL map to the tracked set (evicted sources decay away
+      // lazily — their HLLs are dropped on the next pruning).
+      if (hlls_.size() > config_.tracked_sources * 2) prune();
+    }
+  }
+
+  /// Sources ranked by estimated distinct destinations, descending.
+  [[nodiscard]] std::vector<Spreader> top(std::size_t k) const {
+    std::vector<Spreader> out;
+    for (const auto& entry : heavy_sources_.top()) {
+      const auto src = static_cast<std::uint32_t>(entry.key);
+      const auto it = hlls_.find(src);
+      if (it == hlls_.end()) continue;
+      out.push_back({src, it->second.estimate()});
+      if (out.size() == k) break;
+    }
+    std::sort(out.begin(), out.end(), [](const Spreader& a, const Spreader& b) {
+      return a.distinct_dsts > b.distinct_dsts;
+    });
+    return out;
+  }
+
+  /// Distinct-destination estimate for one source (0 if untracked).
+  [[nodiscard]] double distinct_destinations(std::uint32_t src_ip) const {
+    const auto it = hlls_.find(src_ip);
+    return it == hlls_.end() ? 0.0 : it->second.estimate();
+  }
+
+  [[nodiscard]] std::size_t tracked() const noexcept { return hlls_.size(); }
+
+ private:
+  void prune() {
+    std::unordered_map<std::uint32_t, sketch::HyperLogLog> kept;
+    for (const auto& entry : heavy_sources_.top()) {
+      const auto src = static_cast<std::uint32_t>(entry.key);
+      if (const auto it = hlls_.find(src); it != hlls_.end()) {
+        kept.emplace(src, it->second);
+      }
+    }
+    hlls_ = std::move(kept);
+  }
+
+  SuperSpreaderConfig config_;
+  sketch::BloomFilter seen_;
+  sketch::SpaceSaving heavy_sources_;
+  std::unordered_map<std::uint32_t, sketch::HyperLogLog> hlls_;
+};
+
+}  // namespace instameasure::apps

@@ -1,0 +1,68 @@
+// Flow-statistics applications over the WSAF: flow-size distribution and
+// flow-size entropy (paper §II lists these among the statistics a
+// measurement plane must serve).
+//
+// Both operate on the WSAF's resident flows — the elephants and the mice
+// samples that leaked through the regulator. Flows below the regulator's
+// retention capacity are invisible here by design; estimates therefore
+// describe the measurable (>= retention) region, and callers compare
+// against ground truth restricted the same way (see tests/bench).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/instameasure.h"
+
+namespace instameasure::apps {
+
+struct FsdBucket {
+  std::uint64_t min_size = 0;  ///< inclusive lower edge (packets)
+  std::uint64_t flows = 0;
+};
+
+/// Flow-size distribution over the WSAF's resident flows: count of flows
+/// whose estimated size falls in [edges[i], edges[i+1]).
+[[nodiscard]] inline std::vector<FsdBucket> flow_size_distribution(
+    const core::WsafTable& wsaf, const std::vector<std::uint64_t>& edges) {
+  std::vector<FsdBucket> buckets;
+  buckets.reserve(edges.size());
+  for (const auto e : edges) buckets.push_back({e, 0});
+  for (const auto* entry : wsaf.live_entries()) {
+    for (std::size_t i = buckets.size(); i-- > 0;) {
+      if (entry->packets >= static_cast<double>(buckets[i].min_size)) {
+        ++buckets[i].flows;
+        break;
+      }
+    }
+  }
+  return buckets;
+}
+
+/// Shannon entropy (bits) of the flow-size mass distribution over a set of
+/// (flow, size) weights: H = -sum (s_i/S) log2 (s_i/S). Anomaly detectors
+/// watch this: a DDoS collapses it, a scan inflates it.
+[[nodiscard]] inline double flow_size_entropy(
+    const std::vector<double>& sizes) {
+  double total = 0;
+  for (const auto s : sizes) total += s;
+  if (total <= 0) return 0.0;
+  double h = 0;
+  for (const auto s : sizes) {
+    if (s <= 0) continue;
+    const double p = s / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Entropy over the WSAF's resident flows (estimated sizes).
+[[nodiscard]] inline double wsaf_entropy(const core::WsafTable& wsaf) {
+  std::vector<double> sizes;
+  sizes.reserve(wsaf.occupancy());
+  for (const auto* entry : wsaf.live_entries()) sizes.push_back(entry->packets);
+  return flow_size_entropy(sizes);
+}
+
+}  // namespace instameasure::apps

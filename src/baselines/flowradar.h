@@ -1,0 +1,153 @@
+// FlowRadar (Li, Miao, Kim, Yu — NSDI 2016), the paper's closest relative.
+//
+// "FlowRadar's view on WSAF is similar to InstaMeasure, although it tried
+// to solve non-deterministic insertion time by IBLT's constant time
+// insertion, instead of relaxing the {ips = pps} constraint." (§VI)
+//
+// Encoding: a Bloom flow filter detects new flows; each flow maps to k
+// cells of a counting table (an IBLT variant). A new flow increments
+// FlowCount and XORs its ID into FlowXOR in its k cells; *every* packet
+// increments PacketCount in all k cells — ips stays equal to pps, but each
+// insertion is constant-time (the property FlowRadar buys).
+//
+// Decoding: offline peeling. A pure cell (FlowCount == 1) reveals one flow
+// and its exact packet count; subtracting it from its other cells can make
+// new cells pure. Decode succeeds completely only while the flow count
+// stays under the IBLT threshold (~cells/1.3 for k = 3) — the hard cliff
+// this repository's bench contrasts with InstaMeasure's graceful
+// degradation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/packet.h"
+#include "sketch/bloom.h"
+#include "util/hash.h"
+
+namespace instameasure::baselines {
+
+struct FlowRadarConfig {
+  std::size_t counting_cells = 1 << 16;
+  unsigned k = 3;                       ///< cells per flow
+  std::size_t expected_flows = 1 << 16; ///< sizes the flow filter
+  double filter_fp_rate = 0.001;
+  std::uint64_t seed = 0xf10a;
+};
+
+class FlowRadar {
+ public:
+  explicit FlowRadar(const FlowRadarConfig& config)
+      : config_(config),
+        flow_filter_(config.expected_flows, config.filter_fp_rate),
+        cells_(config.counting_cells) {}
+
+  /// Constant-time per-packet encode (the FlowRadar property).
+  void offer(std::uint64_t flow_hash) {
+    const bool is_new = !flow_filter_.maybe_contains(flow_hash);
+    if (is_new) {
+      flow_filter_.insert(flow_hash);
+      ++flows_seen_;
+    }
+    for (unsigned i = 0; i < config_.k; ++i) {
+      Cell& cell = cells_[cell_index(flow_hash, i)];
+      if (is_new) {
+        ++cell.flow_count;
+        cell.flow_xor ^= flow_hash;
+      }
+      ++cell.packet_count;
+    }
+    ++packets_;
+  }
+
+  struct DecodeResult {
+    std::unordered_map<std::uint64_t, std::uint64_t> flows;  ///< id -> pkts
+    bool complete = false;  ///< every cell drained (exact full decode)
+  };
+
+  /// Offline peeling decode over a copy of the table.
+  [[nodiscard]] DecodeResult decode() const {
+    auto cells = cells_;
+    DecodeResult result;
+    // Iterate until no pure cell remains; bounded by total flow count.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (cells[c].flow_count != 1) continue;
+        const std::uint64_t flow = cells[c].flow_xor;
+        // Validate: a genuine flow maps to this cell; XOR artifacts of
+        // colliding flows do not.
+        if (!maps_to_cell(flow, c)) continue;
+        const std::uint64_t count = cells[c].packet_count;
+        result.flows.emplace(flow, count);
+        for (unsigned i = 0; i < config_.k; ++i) {
+          Cell& cell = cells[cell_index(flow, i)];
+          --cell.flow_count;
+          cell.flow_xor ^= flow;
+          cell.packet_count -= count;
+        }
+        progress = true;
+      }
+    }
+    result.complete = true;
+    for (const auto& cell : cells) {
+      if (cell.flow_count != 0) {
+        result.complete = false;
+        break;
+      }
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t flows_seen() const noexcept {
+    return flows_seen_;
+  }
+  /// Encode-side table update rate: FlowRadar keeps ips = pps (k cell
+  /// updates per packet) — the constraint InstaMeasure relaxes instead.
+  [[nodiscard]] double table_update_rate() const noexcept { return 1.0; }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cells_.size() * sizeof(Cell) + flow_filter_.bit_count() / 8;
+  }
+
+  void reset() {
+    flow_filter_.reset();
+    std::fill(cells_.begin(), cells_.end(), Cell{});
+    packets_ = 0;
+    flows_seen_ = 0;
+  }
+
+ private:
+  struct Cell {
+    std::uint32_t flow_count = 0;
+    std::uint64_t flow_xor = 0;
+    std::uint64_t packet_count = 0;
+
+    friend bool operator==(const Cell&, const Cell&) = default;
+  };
+
+  [[nodiscard]] std::size_t cell_index(std::uint64_t flow_hash,
+                                       unsigned i) const noexcept {
+    return static_cast<std::size_t>(util::reduce_range(
+        util::hash_combine(config_.seed + i * 0x9e3779b9ULL, flow_hash),
+        cells_.size()));
+  }
+  [[nodiscard]] bool maps_to_cell(std::uint64_t flow_hash,
+                                  std::size_t cell) const noexcept {
+    for (unsigned i = 0; i < config_.k; ++i) {
+      if (cell_index(flow_hash, i) == cell) return true;
+    }
+    return false;
+  }
+
+  FlowRadarConfig config_;
+  sketch::BloomFilter flow_filter_;
+  std::vector<Cell> cells_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t flows_seen_ = 0;
+};
+
+}  // namespace instameasure::baselines

@@ -1,0 +1,106 @@
+// Sampled-NetFlow baseline.
+//
+// The industry practice the paper contrasts with (§II): every (sampled)
+// packet inserts or updates an exact per-flow table entry, so the table's
+// insertion rate equals the sampled packet rate — the {ips = pps}
+// constraint. Sampling 1/N relaxes ips by N but multiplies estimates by N,
+// inflating variance for everything but the largest flows and missing mice
+// entirely. A bounded table with LRU expiry models the TCAM capacity limit.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "netio/packet.h"
+#include "util/rng.h"
+
+namespace instameasure::baselines {
+
+struct NetFlowConfig {
+  std::uint32_t sampling_n = 100;   ///< keep 1 in N packets (1 = unsampled)
+  std::size_t max_entries = 1 << 16;
+  std::uint64_t seed = 0x9f0;
+};
+
+class SampledNetFlow {
+ public:
+  explicit SampledNetFlow(const NetFlowConfig& config)
+      : config_(config), rng_(config.seed) {
+    table_.reserve(config.max_entries * 2);
+  }
+
+  void offer(const netio::PacketRecord& rec) {
+    ++packets_;
+    // Classic random 1-in-N sampling.
+    if (config_.sampling_n > 1 && rng_.next_below(config_.sampling_n) != 0) {
+      return;
+    }
+    ++sampled_;
+    if (const auto it = table_.find(rec.key); it != table_.end()) {
+      it->second.sampled_packets += 1;
+      it->second.sampled_bytes += rec.wire_len;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+      return;
+    }
+    if (table_.size() >= config_.max_entries) {
+      table_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(rec.key);
+    Entry entry;
+    entry.sampled_packets = 1;
+    entry.sampled_bytes = rec.wire_len;
+    entry.lru_it = lru_.begin();
+    table_.emplace(rec.key, entry);
+    ++inserts_;
+  }
+
+  /// Scaled estimates (sampled count x N); 0 for untracked flows.
+  [[nodiscard]] double estimate_packets(const netio::FlowKey& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end()
+               ? 0.0
+               : static_cast<double>(it->second.sampled_packets) *
+                     config_.sampling_n;
+  }
+  [[nodiscard]] double estimate_bytes(const netio::FlowKey& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end()
+               ? 0.0
+               : static_cast<double>(it->second.sampled_bytes) *
+                     config_.sampling_n;
+  }
+
+  /// Table updates per input packet — the quantity FlowRegulator regulates
+  /// by retention instead of by discarding information.
+  [[nodiscard]] double table_update_rate() const noexcept {
+    return packets_ ? static_cast<double>(sampled_) /
+                          static_cast<double>(packets_)
+                    : 0.0;
+  }
+
+  [[nodiscard]] std::size_t occupancy() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_; }
+  [[nodiscard]] std::uint64_t sampled() const noexcept { return sampled_; }
+
+ private:
+  struct Entry {
+    std::uint64_t sampled_packets = 0;
+    std::uint64_t sampled_bytes = 0;
+    std::list<netio::FlowKey>::iterator lru_it;
+  };
+
+  NetFlowConfig config_;
+  util::Xoshiro256ss rng_;
+  std::unordered_map<netio::FlowKey, Entry, netio::FlowKeyHash> table_;
+  std::list<netio::FlowKey> lru_;  ///< front = most recently updated
+  std::uint64_t packets_ = 0;
+  std::uint64_t sampled_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace instameasure::baselines

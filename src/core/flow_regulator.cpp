@@ -1,0 +1,80 @@
+#include "core/flow_regulator.h"
+
+namespace instameasure::core {
+
+FlowRegulator::FlowRegulator(const FlowRegulatorConfig& config)
+    : config_(config),
+      l1_(config.layer_config()),
+      noise_min_(config.noise_min),
+      last_len_(l1_.n_words(), 0) {
+  auto bank_config = config.layer_config();
+  const unsigned banks = config.banks();
+  l2_.reserve(banks);
+  for (unsigned b = 0; b < banks; ++b) {
+    // Distinct per-bank draw streams. Geometry (word count) matches L1 and
+    // every encode receives L1's layout, so the differing seed only
+    // decorrelates the banks' random bit draws.
+    bank_config.seed = config.seed + 0x9e37 * (b + 1);
+    l2_.emplace_back(bank_config);
+  }
+}
+
+std::optional<SaturationEvent> FlowRegulator::offer(
+    std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
+  ++packets_;
+  const auto layout = l1_.layout_of(flow_hash);
+  last_len_[layout.word_index] = wire_len;
+
+  const auto l1_noise = l1_.encode(layout);
+  if (!l1_noise) return std::nullopt;
+  ++l1_saturations_;
+
+  auto& bank = l2_[*l1_noise - noise_min_];
+  const auto l2_noise = bank.encode(layout);
+  if (!l2_noise) return std::nullopt;
+  ++l2_saturations_;
+
+  SaturationEvent event;
+  // unit(u): packets per L1 saturation; unit(w): L1 saturations per L2
+  // saturation — the multiplicative decode of Algorithm 1, lines 13–15.
+  event.est_packets = l1_.unit(*l1_noise) * bank.unit(*l2_noise);
+  event.est_bytes = event.est_packets * static_cast<double>(wire_len);
+  emitted_packet_estimate_ += event.est_packets;
+  return event;
+}
+
+double FlowRegulator::residual_packets(std::uint64_t flow_hash) const noexcept {
+  const auto layout = l1_.layout_of(flow_hash);
+  double total = l1_.residual_estimate(layout);
+  for (unsigned b = 0; b < l2_.size(); ++b) {
+    // Bank b holds saturation events of level noise_min_ + b, each worth
+    // unit(level) packets.
+    const double events = l2_[b].residual_estimate(layout);
+    total += events * l1_.unit(noise_min_ + b);
+  }
+  return total;
+}
+
+double FlowRegulator::residual_bytes(std::uint64_t flow_hash) const noexcept {
+  const auto layout = l1_.layout_of(flow_hash);
+  return residual_packets(flow_hash) *
+         static_cast<double>(last_len_[layout.word_index]);
+}
+
+double FlowRegulator::mean_packets_per_event() const noexcept {
+  return l2_saturations_
+             ? emitted_packet_estimate_ / static_cast<double>(l2_saturations_)
+             : 0.0;
+}
+
+void FlowRegulator::reset() noexcept {
+  l1_.reset();
+  for (auto& bank : l2_) bank.reset();
+  std::fill(last_len_.begin(), last_len_.end(), 0);
+  packets_ = 0;
+  l1_saturations_ = 0;
+  l2_saturations_ = 0;
+  emitted_packet_estimate_ = 0;
+}
+
+}  // namespace instameasure::core

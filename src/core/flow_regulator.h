@@ -1,0 +1,115 @@
+// FlowRegulator: the paper's two-layer sketch front-end (§III).
+//
+// Layer 1 is an RCC sketch. When a flow's L1 virtual vector saturates at
+// noise level u, one bit is encoded into the flow's vector inside L2 bank u
+// — the same word index and the same bit positions as L1 ("hash function
+// reuse"), so the whole structure costs one hash and at most two memory
+// accesses per packet. When the L2 vector saturates at level w, the flow
+// has pushed roughly unit(u) × unit(w) packets through the regulator; that
+// estimate (plus a byte estimate sampled from the triggering packet's
+// length) is emitted as a SaturationEvent for the WSAF table.
+//
+// The multiplicative two-layer design is what turns RCC's ~12–19% regulation
+// rate into the ~1% the in-DRAM WSAF needs (Figs 1, 7, 8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/rcc.h"
+
+namespace instameasure::core {
+
+struct FlowRegulatorConfig {
+  /// L1 word-array size in bytes. Every L2 bank is the same size, so total
+  /// memory is (1 + banks) × l1_memory_bytes — the paper's 32KB L1 → 128KB
+  /// total with 3 banks.
+  std::size_t l1_memory_bytes = 32 * 1024;
+  unsigned vv_bits = 8;   ///< per layer; the paper's "16-bit vector" = 2×8
+  unsigned noise_min = 1;
+  unsigned noise_max = 0;  ///< 0 = derive 3b/8 (3 banks for b = 8)
+  std::uint64_t seed = 0x1237;
+
+  [[nodiscard]] sketch::RccConfig layer_config() const noexcept {
+    return sketch::RccConfig{l1_memory_bytes, vv_bits, noise_min, noise_max,
+                             seed};
+  }
+  [[nodiscard]] unsigned banks() const noexcept {
+    const auto rcc = layer_config();
+    return rcc.effective_noise_max() - noise_min + 1;
+  }
+  [[nodiscard]] std::size_t total_memory_bytes() const noexcept {
+    return l1_memory_bytes * (1 + banks());
+  }
+};
+
+/// Emitted when a flow's L2 vector saturates: the decoded packet/byte
+/// fractions to accumulate into the WSAF.
+struct SaturationEvent {
+  double est_packets = 0;
+  double est_bytes = 0;
+};
+
+class FlowRegulator {
+ public:
+  explicit FlowRegulator(const FlowRegulatorConfig& config);
+
+  /// Process one packet of the flow identified by `flow_hash` carrying
+  /// `wire_len` bytes. Returns a SaturationEvent when the flow's counts
+  /// should be flushed into the WSAF (≈1% of calls with default config).
+  [[nodiscard]] std::optional<SaturationEvent> offer(
+      std::uint64_t flow_hash, std::uint16_t wire_len) noexcept;
+
+  /// Residual packets currently retained for this flow across both layers
+  /// (not yet emitted to WSAF). Used by end-of-epoch queries so mice flows
+  /// are countable too.
+  [[nodiscard]] double residual_packets(std::uint64_t flow_hash) const noexcept;
+
+  /// Residual byte estimate: residual packets × last packet length observed
+  /// at the flow's L1 word (a per-word sample, not per-flow state).
+  [[nodiscard]] double residual_bytes(std::uint64_t flow_hash) const noexcept;
+
+  // Rate statistics (Figs 1, 7).
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t l1_saturations() const noexcept {
+    return l1_saturations_;
+  }
+  [[nodiscard]] std::uint64_t l2_saturations() const noexcept {
+    return l2_saturations_;
+  }
+  /// WSAF insertions per input packet — the paper's regulation rate.
+  [[nodiscard]] double regulation_rate() const noexcept {
+    return packets_ ? static_cast<double>(l2_saturations_) /
+                          static_cast<double>(packets_)
+                    : 0.0;
+  }
+  /// Mean packets represented by one WSAF insertion (retention capacity as
+  /// measured end-to-end; Fig 8a).
+  [[nodiscard]] double mean_packets_per_event() const noexcept;
+
+  [[nodiscard]] const FlowRegulatorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return config_.total_memory_bytes() +
+           last_len_.size() * sizeof(std::uint16_t);
+  }
+
+  void reset() noexcept;
+
+ private:
+  FlowRegulatorConfig config_;
+  sketch::RccSketch l1_;
+  std::vector<sketch::RccSketch> l2_;  ///< one bank per noise level
+  unsigned noise_min_;
+  /// Last wire length seen per L1 word: the byte-sampling state for the
+  /// residual flush (the event path samples the triggering packet directly).
+  std::vector<std::uint16_t> last_len_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t l1_saturations_ = 0;
+  std::uint64_t l2_saturations_ = 0;
+  double emitted_packet_estimate_ = 0;
+};
+
+}  // namespace instameasure::core

@@ -1,0 +1,63 @@
+#include "core/instameasure.h"
+
+namespace instameasure::core {
+
+InstaMeasure::InstaMeasure(const EngineConfig& config)
+    : config_(config), regulator_(config.regulator), wsaf_(config.wsaf) {
+  if (config.track_top_k > 0) tracker_.emplace(config.track_top_k);
+}
+
+void InstaMeasure::process(const netio::PacketRecord& rec) {
+  const std::uint64_t flow_hash = rec.key.hash(config_.seed);
+  const auto event = regulator_.offer(flow_hash, rec.wire_len);
+  if (!event) return;
+
+  const auto totals = wsaf_.accumulate(rec.key, flow_hash,
+                                       event->est_packets, event->est_bytes,
+                                       rec.timestamp_ns);
+  if (tracker_) tracker_->update(rec.key, flow_hash, totals.packets);
+  if (config_.heavy_hitter.packet_threshold > 0 ||
+      config_.heavy_hitter.byte_threshold > 0) {
+    check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
+                       rec.timestamp_ns);
+  }
+}
+
+void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,
+                                      std::uint64_t flow_hash, double packets,
+                                      double bytes, std::uint64_t now_ns) {
+  const auto& hh = config_.heavy_hitter;
+  if (hh.packet_threshold > 0 && packets >= hh.packet_threshold &&
+      reported_pkt_.insert(flow_hash).second) {
+    detections_.push_back({key, now_ns, packets, TopKMetric::kPackets});
+  }
+  if (hh.byte_threshold > 0 && bytes >= hh.byte_threshold &&
+      reported_byte_.insert(flow_hash).second) {
+    detections_.push_back({key, now_ns, bytes, TopKMetric::kBytes});
+  }
+}
+
+InstaMeasure::FlowEstimate InstaMeasure::query(
+    const netio::FlowKey& key) const {
+  const std::uint64_t flow_hash = key.hash(config_.seed);
+  FlowEstimate est;
+  if (const auto entry = wsaf_.lookup(key, flow_hash)) {
+    est.packets = entry->packets;
+    est.bytes = entry->bytes;
+    est.in_wsaf = true;
+  }
+  est.packets += regulator_.residual_packets(flow_hash);
+  est.bytes += regulator_.residual_bytes(flow_hash);
+  return est;
+}
+
+void InstaMeasure::reset() {
+  regulator_.reset();
+  wsaf_.reset();
+  detections_.clear();
+  if (tracker_) tracker_->reset();
+  reported_pkt_.clear();
+  reported_byte_.clear();
+}
+
+}  // namespace instameasure::core

@@ -1,0 +1,118 @@
+// InstaMeasure: the complete single-core measurement engine (paper §III–IV).
+//
+//   packet → FlowKey hash (once) → FlowRegulator (two-layer sketch)
+//          → on L2 saturation: accumulate est_pkt/est_byte into WSAF
+//          → on WSAF counter crossing a threshold: heavy-hitter detection
+//
+// Queries combine the WSAF record with the regulator's residual estimate so
+// a flow's count is available at any moment ("online decoding") — the
+// property that removes the remote collector from the loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/flow_regulator.h"
+#include "core/topk_tracker.h"
+#include "core/topk.h"
+#include "core/wsaf_table.h"
+#include "netio/packet.h"
+
+namespace instameasure::core {
+
+struct HeavyHitterConfig {
+  /// Detection thresholds; 0 disables that detector. The paper uses
+  /// T = 0.05% of link capacity.
+  double packet_threshold = 0;
+  double byte_threshold = 0;
+};
+
+struct HhDetection {
+  netio::FlowKey key;
+  std::uint64_t detected_at_ns = 0;
+  double value_at_detection = 0;
+  TopKMetric metric = TopKMetric::kPackets;
+};
+
+struct EngineConfig {
+  FlowRegulatorConfig regulator;
+  WsafConfig wsaf;
+  HeavyHitterConfig heavy_hitter;
+  /// When nonzero, a streaming top-K tracker (by packets) is maintained on
+  /// the accumulate path: current_top_k() answers in O(K) with no WSAF
+  /// scan. 0 disables (top_k_packets() still works via scan).
+  std::size_t track_top_k = 0;
+  std::uint64_t seed = 0xace;
+};
+
+class InstaMeasure {
+ public:
+  explicit InstaMeasure(const EngineConfig& config);
+
+  /// Fast path: one hash, one-two sketch word accesses, rare WSAF access.
+  void process(const netio::PacketRecord& rec);
+
+  struct FlowEstimate {
+    double packets = 0;
+    double bytes = 0;
+    bool in_wsaf = false;  ///< true if an elephant record exists
+  };
+
+  /// Current estimate for one flow: WSAF record (if any) plus the
+  /// regulator's residual.
+  [[nodiscard]] FlowEstimate query(const netio::FlowKey& key) const;
+
+  [[nodiscard]] std::vector<TopKItem> top_k_packets(std::size_t k) const {
+    return top_k(wsaf_, k, TopKMetric::kPackets);
+  }
+  [[nodiscard]] std::vector<TopKItem> top_k_bytes(std::size_t k) const {
+    return top_k(wsaf_, k, TopKMetric::kBytes);
+  }
+
+  [[nodiscard]] const std::vector<HhDetection>& detections() const noexcept {
+    return detections_;
+  }
+
+  /// The streaming tracker's current top-K (requires track_top_k > 0);
+  /// empty otherwise. Descending by packets.
+  [[nodiscard]] std::vector<std::pair<netio::FlowKey, double>> current_top_k()
+      const {
+    return tracker_ ? tracker_->top()
+                    : std::vector<std::pair<netio::FlowKey, double>>{};
+  }
+
+  [[nodiscard]] const FlowRegulator& regulator() const noexcept {
+    return regulator_;
+  }
+  [[nodiscard]] const WsafTable& wsaf() const noexcept { return wsaf_; }
+  [[nodiscard]] std::uint64_t packets_processed() const noexcept {
+    return regulator_.packets();
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Total memory of the measurement structures (sketches + WSAF), using the
+  /// paper's logical entry accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return regulator_.config().total_memory_bytes() +
+           wsaf_.logical_memory_bytes();
+  }
+
+  void reset();
+
+ private:
+  void check_heavy_hitter(const netio::FlowKey& key, std::uint64_t flow_hash,
+                          double packets, double bytes, std::uint64_t now_ns);
+
+  EngineConfig config_;
+  FlowRegulator regulator_;
+  WsafTable wsaf_;
+  std::vector<HhDetection> detections_;
+  std::optional<TopKTracker> tracker_;
+  std::unordered_set<std::uint64_t> reported_pkt_;
+  std::unordered_set<std::uint64_t> reported_byte_;
+};
+
+}  // namespace instameasure::core

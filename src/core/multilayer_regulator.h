@@ -1,0 +1,100 @@
+// N-layer generalization of the FlowRegulator.
+//
+// The paper tunes rate regulation "by adjusting the vector size or even the
+// number of layers" (§V.B). This module generalizes the two-layer design to
+// N layers: a saturation at layer l with noise level u feeds one bit into a
+// layer-(l+1) bank selected by the *path* of noise levels so far, so every
+// bank aggregates events of identical per-event weight — the invariant that
+// makes multiplicative decoding unbiased.
+//
+// Memory: with L = noise levels per layer, layer l has L^l banks; total
+// banks are (L^layers - 1) / (L - 1) (4 for the paper's two layers, 13 for
+// three). Regulation shrinks geometrically with each layer (~1/9 per layer
+// for b = 8) while retention — and therefore worst-case estimation error —
+// grows by the same factor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/flow_regulator.h"
+#include "sketch/rcc.h"
+
+namespace instameasure::core {
+
+struct MultiLayerConfig {
+  std::size_t layer_memory_bytes = 32 * 1024;  ///< per bank
+  unsigned vv_bits = 8;
+  unsigned layers = 2;
+  unsigned noise_min = 1;
+  unsigned noise_max = 0;  ///< 0 = derive 3b/8
+  std::uint64_t seed = 0x1237;
+
+  [[nodiscard]] sketch::RccConfig bank_config() const noexcept {
+    return sketch::RccConfig{layer_memory_bytes, vv_bits, noise_min,
+                             noise_max, seed};
+  }
+  [[nodiscard]] unsigned levels() const noexcept {
+    return bank_config().effective_noise_max() - noise_min + 1;
+  }
+  [[nodiscard]] std::size_t total_banks() const noexcept {
+    std::size_t banks = 0, layer_banks = 1;
+    for (unsigned l = 0; l < layers; ++l) {
+      banks += layer_banks;
+      layer_banks *= levels();
+    }
+    return banks;
+  }
+  [[nodiscard]] std::size_t total_memory_bytes() const noexcept {
+    return total_banks() * layer_memory_bytes;
+  }
+};
+
+class MultiLayerRegulator {
+ public:
+  explicit MultiLayerRegulator(const MultiLayerConfig& config);
+
+  /// Process one packet; emits an event when the final layer saturates.
+  [[nodiscard]] std::optional<SaturationEvent> offer(
+      std::uint64_t flow_hash, std::uint16_t wire_len) noexcept;
+
+  /// Packets retained across every layer/path for this flow.
+  [[nodiscard]] double residual_packets(std::uint64_t flow_hash) const noexcept;
+
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t emissions() const noexcept { return emissions_; }
+  [[nodiscard]] double regulation_rate() const noexcept {
+    return packets_ ? static_cast<double>(emissions_) /
+                          static_cast<double>(packets_)
+                    : 0.0;
+  }
+  [[nodiscard]] double mean_packets_per_event() const noexcept {
+    return emissions_ ? emitted_estimate_ / static_cast<double>(emissions_)
+                      : 0.0;
+  }
+  [[nodiscard]] const MultiLayerConfig& config() const noexcept {
+    return config_;
+  }
+
+  void reset() noexcept;
+
+ private:
+  /// Flat index of the bank at `layer` reached via noise-level `path`.
+  [[nodiscard]] std::size_t bank_index(unsigned layer,
+                                       std::size_t path) const noexcept {
+    return layer_offsets_[layer] + path;
+  }
+
+  MultiLayerConfig config_;
+  unsigned levels_;
+  unsigned noise_min_;
+  std::vector<std::size_t> layer_offsets_;
+  std::vector<sketch::RccSketch> banks_;
+  std::vector<std::uint16_t> last_len_;  ///< per word of the layer-0 bank
+  std::uint64_t packets_ = 0;
+  std::uint64_t emissions_ = 0;
+  double emitted_estimate_ = 0;
+};
+
+}  // namespace instameasure::core

@@ -1,0 +1,86 @@
+// Streaming top-K tracker.
+//
+// top_k() scans the whole WSAF — fine for periodic reports, wasteful when
+// the current top-K is queried continuously (dashboards, per-event
+// policies). TopKTracker maintains the K largest flows incrementally: the
+// engine feeds it each WSAF accumulation and it keeps a min-threshold set
+// with O(log K) updates, no table scans.
+//
+// Semantics: because WSAF counters only grow between evictions, a flow
+// whose running count exceeds the tracked minimum enters the set and the
+// minimum leaves; flows evicted from the WSAF are lazily superseded (their
+// stale entry ages out when K better flows appear).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/flow_key.h"
+
+namespace instameasure::core {
+
+class TopKTracker {
+ public:
+  explicit TopKTracker(std::size_t k) : k_(k) {}
+
+  /// Observe a flow's new running total (monotone per flow between WSAF
+  /// evictions; a smaller value after re-insertion is handled).
+  void update(const netio::FlowKey& key, std::uint64_t flow_hash,
+              double value) {
+    if (k_ == 0) return;
+    if (const auto it = index_.find(flow_hash); it != index_.end()) {
+      // Known flow: reposition.
+      ordered_.erase(it->second);
+      it->second = ordered_.emplace(value, Entry{key, flow_hash});
+      return;
+    }
+    if (ordered_.size() < k_) {
+      index_.emplace(flow_hash, ordered_.emplace(value, Entry{key, flow_hash}));
+      return;
+    }
+    const auto min_it = ordered_.begin();
+    if (value <= min_it->first) return;  // below the bar
+    index_.erase(min_it->second.flow_hash);
+    ordered_.erase(min_it);
+    index_.emplace(flow_hash, ordered_.emplace(value, Entry{key, flow_hash}));
+  }
+
+  /// Current top-K, descending by value.
+  [[nodiscard]] std::vector<std::pair<netio::FlowKey, double>> top() const {
+    std::vector<std::pair<netio::FlowKey, double>> out;
+    out.reserve(ordered_.size());
+    for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
+      out.emplace_back(it->second.key, it->first);
+    }
+    return out;
+  }
+
+  /// Smallest tracked value (the admission bar), 0 while under capacity.
+  [[nodiscard]] double threshold() const noexcept {
+    return ordered_.size() < k_ || ordered_.empty() ? 0.0
+                                                    : ordered_.begin()->first;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ordered_.size(); }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  void reset() {
+    ordered_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Entry {
+    netio::FlowKey key;
+    std::uint64_t flow_hash;
+  };
+
+  std::size_t k_;
+  std::multimap<double, Entry> ordered_;  ///< value -> flow, ascending
+  std::unordered_map<std::uint64_t, std::multimap<double, Entry>::iterator>
+      index_;
+};
+
+}  // namespace instameasure::core

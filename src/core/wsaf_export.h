@@ -1,0 +1,35 @@
+// WSAF -> IPFIX adapter: serialize the live working set as standard flow
+// records so downstream collectors (or offline analysis) can consume the
+// measurement results without bespoke tooling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/wsaf_table.h"
+#include "netio/ipfix.h"
+
+namespace instameasure::core {
+
+/// IPFIX messages carrying every live WSAF entry (chunked to the 16-bit
+/// message length limit). Fractional counters (the regulator emits
+/// calibrated fractional units) round to nearest.
+[[nodiscard]] inline std::vector<std::vector<std::byte>> export_wsaf_ipfix(
+    const WsafTable& wsaf, std::uint32_t export_time_s,
+    std::uint32_t sequence, std::uint32_t domain_id = 1) {
+  std::vector<netio::IpfixFlowRecord> records;
+  records.reserve(wsaf.occupancy());
+  for (const auto* entry : wsaf.live_entries()) {
+    netio::IpfixFlowRecord rec;
+    rec.key = entry->key;
+    rec.packets = static_cast<std::uint64_t>(std::llround(entry->packets));
+    rec.octets = static_cast<std::uint64_t>(std::llround(entry->bytes));
+    rec.end_ms = entry->last_update_ns / 1'000'000ULL;
+    records.push_back(rec);
+  }
+  return netio::ipfix_encode_chunked(records, export_time_s, sequence,
+                                     domain_id);
+}
+
+}  // namespace instameasure::core

@@ -1,0 +1,230 @@
+#include "core/wsaf_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace instameasure::core {
+
+WsafTable::WsafTable(const WsafConfig& config)
+    : config_(config),
+      mask_((std::uint64_t{1} << config.log2_entries) - 1),
+      slots_(config.entries()) {}
+
+WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
+                                             std::uint64_t flow_hash,
+                                             double est_packets,
+                                             double est_bytes,
+                                             std::uint64_t now_ns) {
+  ++stats_.accumulates;
+  const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
+
+  std::size_t first_free = slots_.size();  // sentinel: none seen
+  for (unsigned i = 0; i < config_.probe_limit; ++i) {
+    ++stats_.probes;
+    const auto s = slot_of(flow_hash, i);
+    WsafEntry& e = slots_[s];
+    if (!e.occupied) {
+      if (first_free == slots_.size()) first_free = s;
+      // An empty slot proves the key is absent only in a chain without
+      // deletions; evictions create holes, so keep probing for a match and
+      // remember the first usable slot.
+      continue;
+    }
+    if (expired(e, now_ns)) {
+      // Inline garbage collection: reclaim expired entries met on the way.
+      if (first_free == slots_.size()) {
+        first_free = s;
+        ++stats_.gc_reclaims;
+      }
+      continue;
+    }
+    if (e.flow_id == flow_id && e.key == key) {
+      e.packets += est_packets;
+      e.bytes += est_bytes;
+      e.last_update_ns = now_ns;
+      e.referenced = true;
+      ++stats_.updates;
+      return {e.packets, e.bytes};
+    }
+  }
+
+  if (first_free != slots_.size()) {
+    WsafEntry& e = slots_[first_free];
+    if (!e.occupied) {
+      ++occupied_;
+    }
+    e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
+                  /*occupied=*/true, /*referenced=*/false};
+    ++stats_.inserts;
+    return {e.packets, e.bytes};
+  }
+
+  // Probe window full of live entries: replace per the configured policy.
+  if (config_.eviction == EvictionPolicy::kNone) {
+    ++stats_.rejected;
+    return {est_packets, est_bytes};  // dropped: caller sees only this event
+  }
+
+  std::size_t victim = slots_.size();
+  std::size_t stalest = slot_of(flow_hash, 0);
+  for (unsigned i = 0; i < config_.probe_limit; ++i) {
+    const auto s = slot_of(flow_hash, i);
+    WsafEntry& e = slots_[s];
+    if (config_.eviction == EvictionPolicy::kSecondChance) {
+      // The paper evicts the "least significant" mice flow: entries whose
+      // reference bit is set survive this round (bit consumed); among the
+      // rest the smallest counter is the victim. Falls back to the stalest
+      // entry when every slot had its second chance.
+      if (!e.referenced &&
+          (victim == slots_.size() || e.packets < slots_[victim].packets)) {
+        victim = s;
+      }
+      e.referenced = false;  // consume the second chance
+    }
+    if (e.last_update_ns < slots_[stalest].last_update_ns) stalest = s;
+  }
+  if (victim == slots_.size()) victim = stalest;
+
+  WsafEntry& e = slots_[victim];
+  e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
+                /*occupied=*/true, /*referenced=*/false};
+  ++stats_.inserts;
+  ++stats_.evictions;
+  return {e.packets, e.bytes};
+}
+
+std::optional<WsafEntry> WsafTable::lookup(
+    const netio::FlowKey& key, std::uint64_t flow_hash) const noexcept {
+  const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
+  for (unsigned i = 0; i < config_.probe_limit; ++i) {
+    const auto s = slot_of(flow_hash, i);
+    const WsafEntry& e = slots_[s];
+    if (e.occupied && e.flow_id == flow_id && e.key == key) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<const WsafEntry*> WsafTable::live_entries() const {
+  std::vector<const WsafEntry*> out;
+  out.reserve(occupied_);
+  for (const auto& e : slots_) {
+    if (e.occupied) out.push_back(&e);
+  }
+  return out;
+}
+
+namespace {
+
+// Snapshot format: header (magic, version, config) then one fixed-width
+// record per occupied slot. Little-endian host assumed (x86/ARM targets).
+constexpr char kMagic[8] = {'I', 'M', 'W', 'S', 'A', 'F', '0', '1'};
+
+struct SnapshotHeader {
+  char magic[8];
+  std::uint32_t log2_entries;
+  std::uint32_t probe_limit;
+  std::uint64_t idle_timeout_ns;
+  std::uint64_t seed;
+  std::uint64_t occupied;
+};
+
+struct SnapshotRecord {
+  std::uint64_t slot;
+  std::uint32_t src_ip, dst_ip;
+  std::uint16_t src_port, dst_port;
+  std::uint8_t proto;
+  std::uint8_t referenced;
+  std::uint32_t flow_id;
+  double packets;
+  double bytes;
+  std::uint64_t first_seen_ns;
+  std::uint64_t last_update_ns;
+};
+
+}  // namespace
+
+void WsafTable::save(const std::string& path) const {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error("WsafTable::save: cannot open " + path);
+
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.log2_entries = config_.log2_entries;
+  header.probe_limit = config_.probe_limit;
+  header.idle_timeout_ns = config_.idle_timeout_ns;
+  header.seed = config_.seed;
+  header.occupied = occupied_;
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const WsafEntry& e = slots_[s];
+    if (!e.occupied) continue;
+    SnapshotRecord rec{};
+    rec.slot = s;
+    rec.src_ip = e.key.src_ip;
+    rec.dst_ip = e.key.dst_ip;
+    rec.src_port = e.key.src_port;
+    rec.dst_port = e.key.dst_port;
+    rec.proto = e.key.proto;
+    rec.referenced = e.referenced ? 1 : 0;
+    rec.flow_id = e.flow_id;
+    rec.packets = e.packets;
+    rec.bytes = e.bytes;
+    rec.first_seen_ns = e.first_seen_ns;
+    rec.last_update_ns = e.last_update_ns;
+    out.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+  }
+  if (!out) throw std::runtime_error("WsafTable::save: write failed");
+}
+
+WsafTable WsafTable::load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("WsafTable::load: cannot open " + path);
+
+  SnapshotHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof header);
+  if (!in || std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("WsafTable::load: bad snapshot header");
+  }
+  if (header.log2_entries > 40) {
+    throw std::runtime_error("WsafTable::load: implausible table size");
+  }
+
+  WsafConfig config;
+  config.log2_entries = header.log2_entries;
+  config.probe_limit = header.probe_limit;
+  config.idle_timeout_ns = header.idle_timeout_ns;
+  config.seed = header.seed;
+  WsafTable table{config};
+
+  for (std::uint64_t i = 0; i < header.occupied; ++i) {
+    SnapshotRecord rec{};
+    in.read(reinterpret_cast<char*>(&rec), sizeof rec);
+    if (!in) throw std::runtime_error("WsafTable::load: truncated snapshot");
+    if (rec.slot >= table.slots_.size()) {
+      throw std::runtime_error("WsafTable::load: slot out of range");
+    }
+    WsafEntry& e = table.slots_[rec.slot];
+    e.key = netio::FlowKey{rec.src_ip, rec.dst_ip, rec.src_port, rec.dst_port,
+                           rec.proto};
+    e.flow_id = rec.flow_id;
+    e.packets = rec.packets;
+    e.bytes = rec.bytes;
+    e.first_seen_ns = rec.first_seen_ns;
+    e.last_update_ns = rec.last_update_ns;
+    e.occupied = true;
+    e.referenced = rec.referenced != 0;
+  }
+  table.occupied_ = header.occupied;
+  return table;
+}
+
+void WsafTable::reset() {
+  std::fill(slots_.begin(), slots_.end(), WsafEntry{});
+  occupied_ = 0;
+  stats_ = WsafStats{};
+}
+
+}  // namespace instameasure::core

@@ -1,0 +1,155 @@
+// WSAF: the in-DRAM Working Set of Active Flows (paper §III.B, Fig 2b).
+//
+// An open-addressing hash table over m = 2^n slots probed with the
+// triangular quadratic sequence h(k,i) = h(k) + (i + i²)/2 mod m, which
+// visits every slot as i ranges over [0, m) when m is a power of two — the
+// property the paper uses to reach high load factors. Probing is bounded by
+// a probe limit; when the window is full, a second-chance (clock) pass
+// evicts the first non-referenced entry, falling back to the stalest one.
+// Mice flows that leak through the FlowRegulator are thereby recycled out
+// instead of crowding the table.
+//
+// The paper's entry is 33 logical bytes: 32-bit flow-ID hash, 32-bit packet
+// counter, 32-bit byte counter, 64-bit timestamp, 104-bit 5-tuple. The
+// in-memory struct uses doubles for the counters (the regulator emits
+// calibrated fractional units); logical_entry_bytes() preserves the paper's
+// memory accounting for the benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netio/flow_key.h"
+
+namespace instameasure::core {
+
+/// What to do when a new flow's probe window is full of live entries.
+enum class EvictionPolicy {
+  kSecondChance,  ///< the paper's clock scheme (default)
+  kStalest,       ///< always evict the least-recently-updated entry
+  kNone,          ///< reject the insertion (NetFlow-style table overflow)
+};
+
+struct WsafConfig {
+  unsigned log2_entries = 20;  ///< m = 2^20 in all paper experiments
+  unsigned probe_limit = 16;
+  EvictionPolicy eviction = EvictionPolicy::kSecondChance;
+  /// Entries idle longer than this (ns of trace time) count as empty during
+  /// probing — the paper's inline garbage collection. 0 disables.
+  std::uint64_t idle_timeout_ns = 0;
+  std::uint64_t seed = 0x3aff;
+
+  [[nodiscard]] std::size_t entries() const noexcept {
+    return std::size_t{1} << log2_entries;
+  }
+};
+
+struct WsafEntry {
+  netio::FlowKey key;               ///< full 5-tuple (104 bits logical)
+  std::uint32_t flow_id = 0;        ///< 32-bit hash, fast mismatch filter
+  double packets = 0;
+  double bytes = 0;
+  std::uint64_t first_seen_ns = 0;  ///< first accumulation (rate baseline)
+  std::uint64_t last_update_ns = 0;
+  bool occupied = false;
+  bool referenced = false;          ///< second-chance bit
+
+  /// Average packet rate over the entry's lifetime in the WSAF (pps of
+  /// trace time). Rate-based heavy-hitter policies key off this.
+  [[nodiscard]] double packet_rate() const noexcept {
+    const auto span_ns = last_update_ns - first_seen_ns;
+    return span_ns ? packets * 1e9 / static_cast<double>(span_ns) : 0.0;
+  }
+  /// Average byte rate (bytes/second of trace time).
+  [[nodiscard]] double byte_rate() const noexcept {
+    const auto span_ns = last_update_ns - first_seen_ns;
+    return span_ns ? bytes * 1e9 / static_cast<double>(span_ns) : 0.0;
+  }
+};
+
+struct WsafStats {
+  std::uint64_t accumulates = 0;  ///< total accumulate() calls
+  std::uint64_t inserts = 0;      ///< new entries created
+  std::uint64_t updates = 0;      ///< existing entries incremented
+  std::uint64_t evictions = 0;    ///< second-chance replacements
+  std::uint64_t gc_reclaims = 0;  ///< idle entries reclaimed during probing
+  std::uint64_t probes = 0;       ///< slots touched
+  std::uint64_t rejected = 0;     ///< all probed slots referenced & fresher (never with eviction fallback)
+};
+
+class WsafTable {
+ public:
+  explicit WsafTable(const WsafConfig& config);
+
+  struct Accumulated {
+    double packets = 0;
+    double bytes = 0;
+  };
+
+  /// Accumulate a saturation event for `key`. `flow_hash` must be
+  /// key.hash(seed) — the caller (engine) computes it once per packet.
+  /// Returns the entry's new totals (used by HH detection).
+  Accumulated accumulate(const netio::FlowKey& key, std::uint64_t flow_hash,
+                         double est_packets, double est_bytes,
+                         std::uint64_t now_ns);
+
+  /// Find the live entry for a flow, if present.
+  [[nodiscard]] std::optional<WsafEntry> lookup(
+      const netio::FlowKey& key, std::uint64_t flow_hash) const noexcept;
+
+  /// All occupied entries (order unspecified). Top-K layers sort this.
+  [[nodiscard]] std::vector<const WsafEntry*> live_entries() const;
+
+  [[nodiscard]] std::size_t occupancy() const noexcept { return occupied_; }
+  [[nodiscard]] double load_factor() const noexcept {
+    return static_cast<double>(occupied_) /
+           static_cast<double>(slots_.size());
+  }
+  [[nodiscard]] const WsafStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const WsafConfig& config() const noexcept { return config_; }
+
+  /// The paper's 33-byte logical entry size (memory accounting).
+  [[nodiscard]] static constexpr std::size_t logical_entry_bytes() noexcept {
+    return 33;
+  }
+  [[nodiscard]] std::size_t logical_memory_bytes() const noexcept {
+    return slots_.size() * logical_entry_bytes();
+  }
+
+  void reset();
+
+  /// Persist the live table to a binary snapshot. The paper keeps the WSAF
+  /// resident for hours-to-days; snapshots make the record durable for
+  /// long-term (offline) flow-behaviour analysis. Throws std::runtime_error
+  /// on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Restore a snapshot written by save(). The stored geometry (entry
+  /// count, probe limit, seed) replaces the current one. Throws
+  /// std::runtime_error on I/O failure or format mismatch.
+  [[nodiscard]] static WsafTable load(const std::string& path);
+
+ private:
+  [[nodiscard]] std::size_t slot_of(std::uint64_t flow_hash,
+                                    unsigned i) const noexcept {
+    // Triangular quadratic probing; the i-th offset is i(i+1)/2.
+    const std::uint64_t base = flow_hash & mask_;
+    return static_cast<std::size_t>(
+        (base + (static_cast<std::uint64_t>(i) * (i + 1)) / 2) & mask_);
+  }
+  [[nodiscard]] bool expired(const WsafEntry& e,
+                             std::uint64_t now_ns) const noexcept {
+    return config_.idle_timeout_ns != 0 &&
+           e.last_update_ns + config_.idle_timeout_ns < now_ns;
+  }
+
+  WsafConfig config_;
+  std::uint64_t mask_;
+  std::vector<WsafEntry> slots_;
+  std::size_t occupied_ = 0;
+  WsafStats stats_;
+};
+
+}  // namespace instameasure::core

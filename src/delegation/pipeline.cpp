@@ -1,0 +1,36 @@
+#include "delegation/pipeline.h"
+
+namespace instameasure::delegation {
+
+DelegationRun run_pipeline(const netio::PacketVector& packets,
+                           const PipelineConfig& config,
+                           const std::vector<netio::FlowKey>& watched) {
+  SimulatedChannel<sketch::CountMinSketch> channel{config.channel};
+  Exporter exporter{config, &channel};
+  Collector collector{config};
+
+  for (const auto& rec : packets) {
+    exporter.offer(rec);
+    collector.poll(channel, rec.timestamp_ns, watched);
+  }
+  const std::uint64_t end_ns =
+      packets.empty() ? 0 : packets.back().timestamp_ns;
+  exporter.flush(end_ns);
+  // Drain the channel: advance the clock far enough for the last delivery.
+  const auto horizon =
+      end_ns + static_cast<std::uint64_t>(
+                   (config.channel.delay_ms + config.channel.jitter_ms + 1) * 1e6);
+  collector.poll(channel, horizon, watched);
+
+  DelegationRun run;
+  for (const auto& key : watched) {
+    if (const auto t = collector.detection_time(key)) {
+      run.detections.emplace(key, *t);
+    }
+  }
+  run.epochs = exporter.epochs_flushed();
+  run.sketches_delivered = collector.sketches_received();
+  return run;
+}
+
+}  // namespace instameasure::delegation

@@ -1,0 +1,141 @@
+// Delegation-based measurement pipeline: exporter -> channel -> collector.
+//
+// This is the complete conventional design (NetFlow/OpenSketch-style) the
+// paper contrasts with: the switch encodes into a sketch it cannot decode
+// online, ships it to a collector every epoch, and the collector merges
+// and decodes after a network delay. Detection latency is structurally
+// >= epoch remainder + delay — the quantity Figs 9(b) compares against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "delegation/channel.h"
+#include "netio/flow_key.h"
+#include "netio/packet.h"
+#include "sketch/countmin.h"
+
+namespace instameasure::delegation {
+
+struct PipelineConfig {
+  double epoch_ms = 10.0;
+  ChannelConfig channel{};
+  sketch::CountMinConfig sketch{};
+  /// Flows the collector alarms on when their cumulative estimate crosses
+  /// this threshold (packets). 0 disables alarms.
+  double packet_threshold = 0;
+};
+
+/// Switch-side exporter: encodes packets into the current epoch's sketch
+/// and flushes it into the channel at each epoch boundary.
+class Exporter {
+ public:
+  Exporter(const PipelineConfig& config, SimulatedChannel<sketch::CountMinSketch>* channel)
+      : config_(config),
+        channel_(channel),
+        epoch_ns_(static_cast<std::uint64_t>(config.epoch_ms * 1e6)),
+        current_(config.sketch) {}
+
+  void offer(const netio::PacketRecord& rec) {
+    roll_to(rec.timestamp_ns);
+    if (!started_) {
+      started_ = true;
+      epoch_end_ = rec.timestamp_ns + epoch_ns_;
+    }
+    current_.add(rec.key.hash());
+  }
+
+  /// Advance epoch boundaries up to `now_ns`, flushing each closed epoch.
+  void roll_to(std::uint64_t now_ns) {
+    while (started_ && now_ns >= epoch_end_) {
+      flush(epoch_end_);
+      epoch_end_ += epoch_ns_;
+    }
+  }
+
+  /// Force-flush the current epoch (end of measurement).
+  void flush(std::uint64_t now_ns) {
+    (void)channel_->send(now_ns, current_);
+    current_.reset();
+    ++epochs_flushed_;
+  }
+
+  [[nodiscard]] std::uint64_t epochs_flushed() const noexcept {
+    return epochs_flushed_;
+  }
+
+ private:
+  PipelineConfig config_;
+  SimulatedChannel<sketch::CountMinSketch>* channel_;
+  std::uint64_t epoch_ns_;
+  sketch::CountMinSketch current_;
+  bool started_ = false;
+  std::uint64_t epoch_end_ = 0;
+  std::uint64_t epochs_flushed_ = 0;
+};
+
+/// Collector-side: merges delivered sketches and raises threshold alarms.
+/// It can only observe state as of the last delivery — the structural lag.
+class Collector {
+ public:
+  explicit Collector(const PipelineConfig& config)
+      : config_(config), merged_(config.sketch) {}
+
+  /// Ingest everything the channel delivered by `now_ns` and evaluate the
+  /// watch list. Detection timestamps are the *delivery* times.
+  void poll(SimulatedChannel<sketch::CountMinSketch>& channel,
+            std::uint64_t now_ns,
+            const std::vector<netio::FlowKey>& watched) {
+    for (auto& [deliver_ns, sketch] : channel.deliver_until(now_ns)) {
+      merged_.merge(sketch);
+      ++sketches_received_;
+      if (config_.packet_threshold <= 0) continue;
+      for (const auto& key : watched) {
+        if (detections_.contains(key)) continue;
+        if (static_cast<double>(merged_.query(key.hash())) >=
+            config_.packet_threshold) {
+          detections_.emplace(key, deliver_ns);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t query(const netio::FlowKey& key) const {
+    return merged_.query(key.hash());
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> detection_time(
+      const netio::FlowKey& key) const {
+    const auto it = detections_.find(key);
+    return it == detections_.end() ? std::nullopt
+                                   : std::optional{it->second};
+  }
+
+  [[nodiscard]] std::uint64_t sketches_received() const noexcept {
+    return sketches_received_;
+  }
+
+ private:
+  PipelineConfig config_;
+  sketch::CountMinSketch merged_;
+  std::unordered_map<netio::FlowKey, std::uint64_t, netio::FlowKeyHash>
+      detections_;
+  std::uint64_t sketches_received_ = 0;
+};
+
+/// Convenience: run a whole trace through exporter -> channel -> collector
+/// and return per-flow detection times (delivery-clock).
+struct DelegationRun {
+  std::unordered_map<netio::FlowKey, std::uint64_t, netio::FlowKeyHash>
+      detections;
+  std::uint64_t epochs = 0;
+  std::uint64_t sketches_delivered = 0;
+};
+
+[[nodiscard]] DelegationRun run_pipeline(
+    const netio::PacketVector& packets, const PipelineConfig& config,
+    const std::vector<netio::FlowKey>& watched);
+
+}  // namespace instameasure::delegation

@@ -1,0 +1,75 @@
+// Memory-technology timing model.
+//
+// The paper's central feasibility argument (Figs 1 and 7) is a ratio claim:
+// SRAM is 10–20× faster than DRAM, so a front-end must regulate the WSAF
+// insertion rate (ips) below DRAM's share of the per-packet time budget, or
+// the in-DRAM table cannot keep line rate. This model makes the arithmetic
+// explicit and configurable, replacing the paper's physical
+// TCAM/SRAM/DRAM parts.
+#pragma once
+
+#include <cstdint>
+
+namespace instameasure::memmodel {
+
+enum class MemoryKind { kTcam, kSram, kDram };
+
+[[nodiscard]] constexpr const char* to_string(MemoryKind k) noexcept {
+  switch (k) {
+    case MemoryKind::kTcam: return "TCAM";
+    case MemoryKind::kSram: return "SRAM";
+    case MemoryKind::kDram: return "DRAM";
+  }
+  return "?";
+}
+
+struct MemoryTiming {
+  double tcam_ns = 2.0;   ///< per random access
+  double sram_ns = 4.0;
+  double dram_ns = 60.0;  ///< row-miss random access, DDR3-1600 class
+
+  [[nodiscard]] constexpr double access_ns(MemoryKind k) const noexcept {
+    switch (k) {
+      case MemoryKind::kTcam: return tcam_ns;
+      case MemoryKind::kSram: return sram_ns;
+      case MemoryKind::kDram: return dram_ns;
+    }
+    return dram_ns;
+  }
+
+  /// SRAM/DRAM speed ratio (the paper quotes 10–20×).
+  [[nodiscard]] constexpr double sram_speedup() const noexcept {
+    return dram_ns / sram_ns;
+  }
+};
+
+/// Feasibility of a WSAF in a given memory under a packet rate and a
+/// regulation rate (ips = regulation * pps). `accesses_per_insertion`
+/// captures hash-table probing (>=1).
+struct WsafBudget {
+  MemoryTiming timing{};
+  double accesses_per_insertion = 2.0;  ///< probe + write, on average
+
+  /// Maximum insertions/second the memory sustains.
+  [[nodiscard]] constexpr double max_ips(MemoryKind k) const noexcept {
+    return 1e9 / (timing.access_ns(k) * accesses_per_insertion);
+  }
+
+  /// Fraction of packet arrivals the memory could absorb as insertions at
+  /// `pps` — i.e. the regulation rate a front-end must achieve. The paper's
+  /// "speed margin of SRAM over DRAM (5–10%)" corresponds to
+  /// margin(DRAM)/margin(SRAM).
+  [[nodiscard]] constexpr double max_regulation_rate(MemoryKind k,
+                                                     double pps) const noexcept {
+    return pps > 0 ? max_ips(k) / pps : 0.0;
+  }
+
+  /// True if a front-end with `regulation_rate` keeps the WSAF in memory
+  /// kind `k` at packet rate `pps`.
+  [[nodiscard]] constexpr bool feasible(MemoryKind k, double pps,
+                                        double regulation_rate) const noexcept {
+    return regulation_rate * pps <= max_ips(k);
+  }
+};
+
+}  // namespace instameasure::memmodel

@@ -1,0 +1,189 @@
+#include "netio/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace instameasure::netio {
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::byte> d,
+                                    std::size_t off) noexcept {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(d[off]) << 8) |
+      std::to_integer<std::uint16_t>(d[off + 1]));
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::byte> d,
+                                    std::size_t off) noexcept {
+  return (std::to_integer<std::uint32_t>(d[off]) << 24) |
+         (std::to_integer<std::uint32_t>(d[off + 1]) << 16) |
+         (std::to_integer<std::uint32_t>(d[off + 2]) << 8) |
+         std::to_integer<std::uint32_t>(d[off + 3]);
+}
+
+void overwrite_u16(std::vector<std::byte>& buf, std::size_t off,
+                   std::uint16_t v) {
+  buf[off] = static_cast<std::byte>(v >> 8);
+  buf[off + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(get_u16(data, i));
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[i]))
+           << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::byte> encode_frame(const FlowKey& key,
+                                    std::size_t payload_len,
+                                    std::uint16_t vlan_id) {
+  std::vector<std::byte> frame;
+  const auto proto = static_cast<IpProto>(key.proto);
+  const std::size_t l4_hdr = proto == IpProto::kTcp   ? kTcpMinHeaderLen
+                             : proto == IpProto::kUdp ? kUdpHeaderLen
+                                                      : kIcmpMinLen;
+  const std::size_t ip_total = kIpv4MinHeaderLen + l4_hdr + payload_len;
+  frame.reserve(kEthHeaderLen + ip_total);
+
+  // Ethernet II: synthetic locally-administered MACs derived from the IPs so
+  // frames are stable for a flow.
+  for (int i = 0; i < 2; ++i) {
+    const std::uint32_t ip = i == 0 ? key.dst_ip : key.src_ip;
+    frame.push_back(std::byte{0x02});
+    frame.push_back(std::byte{0x00});
+    put_u32(frame, ip);
+  }
+  if (vlan_id != 0) {
+    put_u16(frame, kEtherTypeVlan);
+    put_u16(frame, vlan_id & 0x0fff);  // PCP/DEI zero
+  }
+  put_u16(frame, kEtherTypeIpv4);
+
+  // IPv4 header (no options).
+  const std::size_t ip_off = frame.size();
+  frame.push_back(std::byte{0x45});  // version 4, IHL 5
+  frame.push_back(std::byte{0x00});  // DSCP/ECN
+  put_u16(frame, static_cast<std::uint16_t>(ip_total));
+  put_u16(frame, 0);                 // identification
+  put_u16(frame, 0x4000);            // DF, fragment offset 0
+  frame.push_back(std::byte{64});    // TTL
+  frame.push_back(static_cast<std::byte>(key.proto));
+  put_u16(frame, 0);                 // checksum placeholder
+  put_u32(frame, key.src_ip);
+  put_u32(frame, key.dst_ip);
+  const std::uint16_t ip_csum = internet_checksum(
+      std::span{frame}.subspan(ip_off, kIpv4MinHeaderLen));
+  overwrite_u16(frame, ip_off + 10, ip_csum);
+
+  // L4 header.
+  switch (proto) {
+    case IpProto::kTcp: {
+      put_u16(frame, key.src_port);
+      put_u16(frame, key.dst_port);
+      put_u32(frame, 0);             // seq
+      put_u32(frame, 0);             // ack
+      frame.push_back(std::byte{0x50});  // data offset 5
+      frame.push_back(std::byte{0x10});  // ACK flag
+      put_u16(frame, 0xffff);        // window
+      put_u16(frame, 0);             // checksum (left zero: not enforced)
+      put_u16(frame, 0);             // urgent pointer
+      break;
+    }
+    case IpProto::kUdp: {
+      put_u16(frame, key.src_port);
+      put_u16(frame, key.dst_port);
+      put_u16(frame, static_cast<std::uint16_t>(kUdpHeaderLen + payload_len));
+      put_u16(frame, 0);             // checksum optional in IPv4
+      break;
+    }
+    case IpProto::kIcmp: {
+      frame.push_back(std::byte{8});   // echo request
+      frame.push_back(std::byte{0});   // code
+      put_u16(frame, 0);               // checksum (not enforced)
+      put_u16(frame, key.src_port);    // identifier (reuses port fields)
+      put_u16(frame, key.dst_port);    // sequence
+      break;
+    }
+  }
+
+  frame.resize(frame.size() + payload_len, std::byte{0});
+  if (frame.size() < 60) frame.resize(60, std::byte{0});
+  return frame;
+}
+
+std::optional<ParsedPacket> decode_frame(
+    std::span<const std::byte> frame) noexcept {
+  if (frame.size() < kEthHeaderLen + kIpv4MinHeaderLen) return std::nullopt;
+  // Walk past up to two VLAN tags (802.1Q / 802.1ad QinQ).
+  std::size_t ethertype_off = 12;
+  for (int tags = 0; tags < 2; ++tags) {
+    const auto ethertype = get_u16(frame, ethertype_off);
+    if (ethertype != kEtherTypeVlan && ethertype != kEtherTypeQinQ) break;
+    ethertype_off += 4;
+    if (frame.size() < ethertype_off + 2 + kIpv4MinHeaderLen) {
+      return std::nullopt;
+    }
+  }
+  if (get_u16(frame, ethertype_off) != kEtherTypeIpv4) return std::nullopt;
+
+  const auto ip = frame.subspan(ethertype_off + 2);
+  const auto ver_ihl = std::to_integer<std::uint8_t>(ip[0]);
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl < kIpv4MinHeaderLen || ip.size() < ihl) return std::nullopt;
+
+  ParsedPacket out;
+  out.ip_total_len = get_u16(ip, 2);
+  out.frame_len = static_cast<std::uint16_t>(frame.size());
+  out.key.proto = std::to_integer<std::uint8_t>(ip[9]);
+  out.key.src_ip = get_u32(ip, 12);
+  out.key.dst_ip = get_u32(ip, 16);
+
+  const auto proto = static_cast<IpProto>(out.key.proto);
+  const auto l4 = ip.subspan(ihl);
+  switch (proto) {
+    case IpProto::kTcp:
+      if (l4.size() < kTcpMinHeaderLen) return std::nullopt;
+      out.key.src_port = get_u16(l4, 0);
+      out.key.dst_port = get_u16(l4, 2);
+      break;
+    case IpProto::kUdp:
+      if (l4.size() < kUdpHeaderLen) return std::nullopt;
+      out.key.src_port = get_u16(l4, 0);
+      out.key.dst_port = get_u16(l4, 2);
+      break;
+    case IpProto::kIcmp:
+      if (l4.size() < kIcmpMinLen) return std::nullopt;
+      // ICMP has no ports; identifier/sequence stand in so echo streams are
+      // distinguishable flows, matching how the trace generator builds them.
+      out.key.src_port = get_u16(l4, 4);
+      out.key.dst_port = get_u16(l4, 6);
+      break;
+    default:
+      return std::nullopt;  // measurement plane only tracks TCP/UDP/ICMP
+  }
+  return out;
+}
+
+}  // namespace instameasure::netio

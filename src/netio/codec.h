@@ -1,0 +1,60 @@
+// Wire-format codecs: Ethernet II / IPv4 / TCP / UDP / ICMP.
+//
+// InstaMeasure consumes packets from a pcap trace (or a live mirror port in
+// the paper's deployment); this module builds and parses the minimal frame
+// formats needed to carry a 5-tuple so that the pcap path exercises real
+// header parsing instead of a synthetic shortcut.
+//
+// Only the fields the measurement plane needs are handled: addressing,
+// protocol, and lengths. Checksums are computed on encode and *not* enforced
+// on decode (mirror ports routinely deliver frames with offloaded/invalid
+// checksums).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netio/flow_key.h"
+#include "netio/packet.h"
+
+namespace instameasure::netio {
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+inline constexpr std::size_t kTcpMinHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kIcmpMinLen = 8;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;   ///< 802.1Q
+inline constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;   ///< 802.1ad outer
+
+/// Result of parsing one Ethernet frame down to L4.
+struct ParsedPacket {
+  FlowKey key;
+  std::uint16_t ip_total_len = 0;  ///< IPv4 total length field
+  std::uint16_t frame_len = 0;     ///< full frame length including Ethernet
+};
+
+/// Internet checksum (RFC 1071) over a byte span.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+/// Build a complete Ethernet+IPv4+L4 frame carrying `key`. `payload_len` is
+/// the L4 payload size; the frame is padded to at least 60 bytes (minimum
+/// Ethernet frame without FCS). When `vlan_id` is nonzero an 802.1Q tag is
+/// inserted (mirror ports commonly deliver tagged frames). Returns the raw
+/// frame bytes.
+[[nodiscard]] std::vector<std::byte> encode_frame(const FlowKey& key,
+                                                  std::size_t payload_len,
+                                                  std::uint16_t vlan_id = 0);
+
+/// Parse an Ethernet frame, skipping up to two VLAN tags (802.1Q single or
+/// QinQ double tagging). Returns nullopt for non-IPv4, truncated, or
+/// unsupported-protocol frames (the measurement plane skips those, as the
+/// paper's DPDK pipeline does for non-IP traffic).
+[[nodiscard]] std::optional<ParsedPacket> decode_frame(
+    std::span<const std::byte> frame) noexcept;
+
+}  // namespace instameasure::netio

@@ -1,0 +1,23 @@
+#include "netio/flow_key.h"
+
+#include <cstdio>
+
+namespace instameasure::netio {
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::string FlowKey::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s:%u->%s:%u/%s",
+                ipv4_to_string(src_ip).c_str(), src_port,
+                ipv4_to_string(dst_ip).c_str(), dst_port,
+                instameasure::netio::to_string(static_cast<IpProto>(proto)));
+  return buf;
+}
+
+}  // namespace instameasure::netio

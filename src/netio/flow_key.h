@@ -1,0 +1,72 @@
+// Flow identity: the 5-tuple (src IP, dst IP, src port, dst port, protocol).
+//
+// The paper measures L4 flows keyed by the 5-tuple; the WSAF entry stores the
+// full tuple (104 bits) plus a 32-bit hash of it. FlowKey is the canonical
+// in-memory form; it is trivially copyable and hashes with a single mix.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/hash.h"
+
+namespace instameasure::netio {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] constexpr const char* to_string(IpProto p) noexcept {
+  switch (p) {
+    case IpProto::kIcmp: return "ICMP";
+    case IpProto::kTcp: return "TCP";
+    case IpProto::kUdp: return "UDP";
+  }
+  return "?";
+}
+
+/// IPv4 5-tuple. IPs and ports are host byte order.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = static_cast<std::uint8_t>(IpProto::kTcp);
+
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  /// 64-bit seeded hash of the tuple — the single hash computed per packet.
+  /// All downstream indices (L1 word, vv bit positions, WSAF slot) are
+  /// derived from this value, reproducing the paper's hash-reuse design.
+  [[nodiscard]] constexpr std::uint64_t hash(std::uint64_t seed = 0) const noexcept {
+    const std::uint64_t a =
+        (static_cast<std::uint64_t>(src_ip) << 32) | dst_ip;
+    const std::uint64_t b = (static_cast<std::uint64_t>(src_port) << 24) |
+                            (static_cast<std::uint64_t>(dst_port) << 8) |
+                            proto;
+    return util::mix64(util::hash_combine(seed ^ a, b));
+  }
+
+  /// The 32-bit flow ID stored in WSAF entries (paper Fig 2: "32 bit hash of
+  /// 5-tuple").
+  [[nodiscard]] constexpr std::uint32_t id32(std::uint64_t seed = 0) const noexcept {
+    return static_cast<std::uint32_t>(hash(seed) >> 32);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Dotted-quad rendering of a host-order IPv4 address.
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t ip);
+
+/// std::hash adapter so FlowKey works in unordered containers.
+struct FlowKeyHash {
+  [[nodiscard]] std::size_t operator()(const FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};
+
+}  // namespace instameasure::netio

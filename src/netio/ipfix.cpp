@@ -1,0 +1,177 @@
+#include "netio/ipfix.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace instameasure::netio {
+namespace {
+
+// Our fixed template: (information element id, field length).
+struct FieldSpec {
+  std::uint16_t ie;
+  std::uint16_t len;
+};
+constexpr FieldSpec kTemplate[] = {
+    {8, 4},    // sourceIPv4Address
+    {12, 4},   // destinationIPv4Address
+    {7, 2},    // sourceTransportPort
+    {11, 2},   // destinationTransportPort
+    {4, 1},    // protocolIdentifier
+    {2, 8},    // packetDeltaCount
+    {1, 8},    // octetDeltaCount
+    {153, 8},  // flowEndMilliseconds
+};
+constexpr std::size_t kRecordLen = 4 + 4 + 2 + 2 + 1 + 8 + 8 + 8;  // 37
+
+void put16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+void put32(std::vector<std::byte>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+void put64(std::vector<std::byte>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+  put32(out, static_cast<std::uint32_t>(v));
+}
+
+[[nodiscard]] std::uint16_t get16(std::span<const std::byte> d,
+                                  std::size_t off) noexcept {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(d[off]) << 8) |
+      std::to_integer<std::uint16_t>(d[off + 1]));
+}
+[[nodiscard]] std::uint32_t get32(std::span<const std::byte> d,
+                                  std::size_t off) noexcept {
+  return (static_cast<std::uint32_t>(get16(d, off)) << 16) | get16(d, off + 2);
+}
+[[nodiscard]] std::uint64_t get64(std::span<const std::byte> d,
+                                  std::size_t off) noexcept {
+  return (static_cast<std::uint64_t>(get32(d, off)) << 32) | get32(d, off + 4);
+}
+
+void overwrite16(std::vector<std::byte>& buf, std::size_t off,
+                 std::uint16_t v) {
+  buf[off] = static_cast<std::byte>(v >> 8);
+  buf[off + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+}  // namespace
+
+std::vector<std::byte> ipfix_encode(std::span<const IpfixFlowRecord> records,
+                                    std::uint32_t export_time_s,
+                                    std::uint32_t sequence,
+                                    std::uint32_t domain_id) {
+  if (records.size() > kIpfixMaxRecordsPerMessage) {
+    throw std::length_error("ipfix_encode: too many records for one message");
+  }
+  std::vector<std::byte> out;
+
+  // Message header (length patched at the end).
+  put16(out, kIpfixVersion);
+  put16(out, 0);  // length placeholder
+  put32(out, export_time_s);
+  put32(out, sequence);
+  put32(out, domain_id);
+
+  // Template set.
+  const std::size_t tmpl_off = out.size();
+  put16(out, kIpfixTemplateSetId);
+  put16(out, 0);  // set length placeholder
+  put16(out, kIpfixOurTemplateId);
+  put16(out, static_cast<std::uint16_t>(std::size(kTemplate)));
+  for (const auto& field : kTemplate) {
+    put16(out, field.ie);
+    put16(out, field.len);
+  }
+  overwrite16(out, tmpl_off + 2,
+              static_cast<std::uint16_t>(out.size() - tmpl_off));
+
+  // Data set (template id doubles as the set id).
+  const std::size_t data_off = out.size();
+  put16(out, kIpfixOurTemplateId);
+  put16(out, 0);  // set length placeholder
+  for (const auto& rec : records) {
+    put32(out, rec.key.src_ip);
+    put32(out, rec.key.dst_ip);
+    put16(out, rec.key.src_port);
+    put16(out, rec.key.dst_port);
+    out.push_back(static_cast<std::byte>(rec.key.proto));
+    put64(out, rec.packets);
+    put64(out, rec.octets);
+    put64(out, rec.end_ms);
+  }
+  overwrite16(out, data_off + 2,
+              static_cast<std::uint16_t>(out.size() - data_off));
+
+  overwrite16(out, 2, static_cast<std::uint16_t>(out.size()));
+  return out;
+}
+
+std::vector<std::vector<std::byte>> ipfix_encode_chunked(
+    std::span<const IpfixFlowRecord> records, std::uint32_t export_time_s,
+    std::uint32_t sequence, std::uint32_t domain_id) {
+  std::vector<std::vector<std::byte>> out;
+  std::size_t off = 0;
+  do {
+    const auto n = std::min(records.size() - off, kIpfixMaxRecordsPerMessage);
+    out.push_back(ipfix_encode(records.subspan(off, n), export_time_s,
+                               sequence++, domain_id));
+    off += n;
+  } while (off < records.size());
+  return out;
+}
+
+std::optional<std::vector<IpfixFlowRecord>> ipfix_decode(
+    std::span<const std::byte> message) {
+  if (message.size() < 16) return std::nullopt;
+  if (get16(message, 0) != kIpfixVersion) return std::nullopt;
+  const std::size_t msg_len = get16(message, 2);
+  if (msg_len < 16 || msg_len > message.size()) return std::nullopt;
+
+  std::vector<IpfixFlowRecord> records;
+  bool template_seen = false;
+  std::size_t off = 16;
+  while (off + 4 <= msg_len) {
+    const auto set_id = get16(message, off);
+    const std::size_t set_len = get16(message, off + 2);
+    if (set_len < 4 || off + set_len > msg_len) return std::nullopt;
+    const auto body = message.subspan(off + 4, set_len - 4);
+
+    if (set_id == kIpfixTemplateSetId) {
+      // Verify the template matches ours field-for-field.
+      if (body.size() >= 4 && get16(body, 0) == kIpfixOurTemplateId) {
+        const auto count = get16(body, 2);
+        template_seen = count == std::size(kTemplate) &&
+                        body.size() >= 4 + count * 4u;
+        for (std::size_t f = 0; template_seen && f < count; ++f) {
+          template_seen = get16(body, 4 + f * 4) == kTemplate[f].ie &&
+                          get16(body, 6 + f * 4) == kTemplate[f].len;
+        }
+      }
+    } else if (set_id == kIpfixOurTemplateId) {
+      if (!template_seen) return std::nullopt;  // data before template
+      std::size_t pos = 0;
+      while (pos + kRecordLen <= body.size()) {
+        IpfixFlowRecord rec;
+        rec.key.src_ip = get32(body, pos);
+        rec.key.dst_ip = get32(body, pos + 4);
+        rec.key.src_port = get16(body, pos + 8);
+        rec.key.dst_port = get16(body, pos + 10);
+        rec.key.proto = std::to_integer<std::uint8_t>(body[pos + 12]);
+        rec.packets = get64(body, pos + 13);
+        rec.octets = get64(body, pos + 21);
+        rec.end_ms = get64(body, pos + 29);
+        records.push_back(rec);
+        pos += kRecordLen;
+      }
+    }
+    // Unknown sets are skipped silently (RFC 7011 §8).
+    off += set_len;
+  }
+  return records;
+}
+
+}  // namespace instameasure::netio

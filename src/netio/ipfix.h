@@ -1,0 +1,66 @@
+// IPFIX-lite flow-record export (RFC 7011 subset), from scratch.
+//
+// A WSAF is only useful downstream if its contents can leave the box in a
+// standard format; IPFIX is that format for flow records. This implements
+// the subset needed to export WSAF entries:
+//
+//   message header (version 10) > template set (id 2) > data sets
+//
+// with one fixed template describing our record:
+//   sourceIPv4Address(8), destinationIPv4Address(12), sourceTransportPort(7),
+//   destinationTransportPort(11), protocolIdentifier(4),
+//   packetDeltaCount(2, u64), octetDeltaCount(1, u64),
+//   flowEndMilliseconds(153, u64)
+//
+// The decoder understands exactly the messages the encoder produces (plus
+// tolerant skipping of unknown sets), which is what the round-trip tests
+// and the flow_exporter example need.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netio/flow_key.h"
+
+namespace instameasure::netio {
+
+inline constexpr std::uint16_t kIpfixVersion = 10;
+inline constexpr std::uint16_t kIpfixTemplateSetId = 2;
+inline constexpr std::uint16_t kIpfixOurTemplateId = 256;
+
+struct IpfixFlowRecord {
+  FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t octets = 0;
+  std::uint64_t end_ms = 0;
+
+  friend constexpr bool operator==(const IpfixFlowRecord&,
+                                   const IpfixFlowRecord&) = default;
+};
+
+/// Most records one message can carry (16-bit message length minus
+/// header/template/set overhead, 37-byte records).
+inline constexpr std::size_t kIpfixMaxRecordsPerMessage = 1'700;
+
+/// Encode flow records as one IPFIX message (template set + data set).
+/// `export_time_s` is the message-header export timestamp (unix seconds);
+/// `sequence` the message sequence number. Throws std::length_error if
+/// `records` exceeds kIpfixMaxRecordsPerMessage (use ipfix_encode_chunked).
+[[nodiscard]] std::vector<std::byte> ipfix_encode(
+    std::span<const IpfixFlowRecord> records, std::uint32_t export_time_s,
+    std::uint32_t sequence, std::uint32_t domain_id = 1);
+
+/// Encode any number of records as a sequence of messages, each within the
+/// 16-bit length limit; `sequence` numbers the first message and increments.
+[[nodiscard]] std::vector<std::vector<std::byte>> ipfix_encode_chunked(
+    std::span<const IpfixFlowRecord> records, std::uint32_t export_time_s,
+    std::uint32_t sequence, std::uint32_t domain_id = 1);
+
+/// Decode a message produced by ipfix_encode (or any message carrying our
+/// template). Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<IpfixFlowRecord>> ipfix_decode(
+    std::span<const std::byte> message);
+
+}  // namespace instameasure::netio

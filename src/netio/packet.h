@@ -1,0 +1,27 @@
+// The in-memory packet record used on the measurement fast path.
+//
+// A PacketRecord is the decoded essence of a packet: arrival timestamp, flow
+// key, and wire length. Traces are vectors of PacketRecord (preloaded into
+// memory, mirroring the paper's DPDK + preloaded-CAIDA methodology), and the
+// pcap codec converts between raw frames and records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netio/flow_key.h"
+
+namespace instameasure::netio {
+
+struct PacketRecord {
+  std::uint64_t timestamp_ns = 0;  ///< arrival time, nanoseconds since epoch 0
+  FlowKey key;
+  std::uint16_t wire_len = 0;      ///< bytes on the wire (for byte counting)
+
+  friend constexpr bool operator==(const PacketRecord&,
+                                   const PacketRecord&) = default;
+};
+
+using PacketVector = std::vector<PacketRecord>;
+
+}  // namespace instameasure::netio

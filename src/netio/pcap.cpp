@@ -1,0 +1,152 @@
+#include "netio/pcap.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "netio/codec.h"
+
+namespace instameasure::netio {
+namespace {
+
+constexpr std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+
+void write_u16(std::ofstream& out, std::uint16_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  write_u32(out_, kPcapMagicNsec);
+  write_u16(out_, 2);   // version major
+  write_u16(out_, 4);   // version minor
+  write_u32(out_, 0);   // thiszone
+  write_u32(out_, 0);   // sigfigs
+  write_u32(out_, snaplen_);
+  write_u32(out_, kLinkTypeEthernet);
+}
+
+void PcapWriter::write(std::uint64_t timestamp_ns,
+                       std::span<const std::byte> data,
+                       std::uint32_t orig_len) {
+  const auto incl =
+      static_cast<std::uint32_t>(std::min<std::size_t>(data.size(), snaplen_));
+  write_u32(out_, static_cast<std::uint32_t>(timestamp_ns / 1'000'000'000ULL));
+  write_u32(out_, static_cast<std::uint32_t>(timestamp_ns % 1'000'000'000ULL));
+  write_u32(out_, incl);
+  write_u32(out_, orig_len);
+  out_.write(reinterpret_cast<const char*>(data.data()), incl);
+  if (!out_) throw std::runtime_error("PcapWriter: write failed");
+  ++packets_;
+}
+
+void PcapWriter::write_record(const PacketRecord& rec) {
+  // Reconstruct a frame whose IPv4 total length matches the record's wire
+  // length (minus Ethernet), so byte counting survives the round trip.
+  const std::size_t l4_hdr =
+      rec.key.proto == static_cast<std::uint8_t>(IpProto::kTcp)
+          ? kTcpMinHeaderLen
+          : rec.key.proto == static_cast<std::uint8_t>(IpProto::kUdp)
+              ? kUdpHeaderLen
+              : kIcmpMinLen;
+  const std::size_t headers = kEthHeaderLen + kIpv4MinHeaderLen + l4_hdr;
+  const std::size_t payload =
+      rec.wire_len > headers ? rec.wire_len - headers : 0;
+  const auto frame = encode_frame(rec.key, payload);
+  write(rec.timestamp_ns, frame,
+        static_cast<std::uint32_t>(std::max<std::size_t>(frame.size(),
+                                                         rec.wire_len)));
+}
+
+PcapReader::PcapReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+  std::uint32_t magic = 0;
+  in_.read(reinterpret_cast<char*>(&magic), 4);
+  if (!in_) throw std::runtime_error("PcapReader: empty file " + path);
+  switch (magic) {
+    case kPcapMagicUsec: nsec_ = false; swap_ = false; break;
+    case kPcapMagicNsec: nsec_ = true; swap_ = false; break;
+    default:
+      if (bswap32(magic) == kPcapMagicUsec) { nsec_ = false; swap_ = true; }
+      else if (bswap32(magic) == kPcapMagicNsec) { nsec_ = true; swap_ = true; }
+      else throw std::runtime_error("PcapReader: bad magic in " + path);
+  }
+  char rest[20];
+  in_.read(rest, sizeof rest);
+  if (!in_) throw std::runtime_error("PcapReader: truncated global header");
+  std::uint32_t snaplen;
+  std::memcpy(&snaplen, rest + 12, 4);
+  snaplen_ = swap_ ? bswap32(snaplen) : snaplen;
+}
+
+std::optional<PcapPacket> PcapReader::next() {
+  std::uint32_t hdr[4];
+  in_.read(reinterpret_cast<char*>(hdr), sizeof hdr);
+  if (in_.eof() && in_.gcount() == 0) return std::nullopt;
+  if (!in_ || in_.gcount() != sizeof hdr) {
+    throw std::runtime_error("PcapReader: truncated packet header");
+  }
+  if (swap_) {
+    for (auto& h : hdr) h = bswap32(h);
+  }
+  PcapPacket pkt;
+  const std::uint64_t frac = hdr[1];
+  pkt.timestamp_ns =
+      static_cast<std::uint64_t>(hdr[0]) * 1'000'000'000ULL +
+      (nsec_ ? frac : frac * 1'000ULL);
+  const std::uint32_t incl = hdr[2];
+  pkt.orig_len = hdr[3];
+  // Guard allocations against corrupt headers: no sane capture carries
+  // frames beyond a few MB even with jumbo snaplens.
+  if (incl > snaplen_ + 65536u || incl > 16u * 1024 * 1024) {
+    throw std::runtime_error("PcapReader: implausible packet length");
+  }
+  pkt.data.resize(incl);
+  in_.read(reinterpret_cast<char*>(pkt.data.data()), incl);
+  if (!in_ || in_.gcount() != static_cast<std::streamsize>(incl)) {
+    throw std::runtime_error("PcapReader: truncated packet body");
+  }
+  return pkt;
+}
+
+std::optional<PacketRecord> PcapReader::next_record() {
+  for (;;) {
+    auto pkt = next();
+    if (!pkt) return std::nullopt;
+    const auto parsed = decode_frame(pkt->data);
+    if (!parsed) {
+      ++skipped_;
+      continue;
+    }
+    PacketRecord rec;
+    rec.timestamp_ns = pkt->timestamp_ns;
+    rec.key = parsed->key;
+    rec.wire_len = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(pkt->orig_len, 0xffff));
+    return rec;
+  }
+}
+
+PacketVector load_pcap(const std::string& path) {
+  PcapReader reader{path};
+  PacketVector out;
+  while (auto rec = reader.next_record()) out.push_back(*rec);
+  return out;
+}
+
+void save_pcap(const std::string& path, const PacketVector& packets) {
+  PcapWriter writer{path};
+  for (const auto& rec : packets) writer.write_record(rec);
+}
+
+}  // namespace instameasure::netio

@@ -1,0 +1,266 @@
+#include "netio/pcapng.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "netio/codec.h"
+
+namespace instameasure::netio {
+namespace {
+
+constexpr std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+
+void append_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.resize(out.size() + 2);
+  std::memcpy(out.data() + out.size() - 2, &v, 2);
+}
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.resize(out.size() + 4);
+  std::memcpy(out.data() + out.size() - 4, &v, 4);
+}
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  out.resize(out.size() + 8);
+  std::memcpy(out.data() + out.size() - 8, &v, 8);
+}
+void pad_to_4(std::vector<std::byte>& out) {
+  while (out.size() % 4 != 0) out.push_back(std::byte{0});
+}
+
+[[nodiscard]] std::uint32_t read_u32_at(std::span<const std::byte> d,
+                                        std::size_t off, bool swap) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, d.data() + off, 4);
+  return swap ? bswap32(v) : v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+PcapngWriter::PcapngWriter(const std::string& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
+  if (!out_) throw std::runtime_error("PcapngWriter: cannot open " + path);
+
+  // Section Header Block.
+  std::vector<std::byte> body;
+  append_u32(body, kByteOrderMagic);
+  append_u16(body, 1);  // major
+  append_u16(body, 0);  // minor
+  append_u64(body, ~std::uint64_t{0});  // section length unknown
+  write_block(kPcapngShb, body);
+
+  // Interface Description Block: Ethernet, with if_tsresol = 9 (ns).
+  body.clear();
+  append_u16(body, static_cast<std::uint16_t>(kLinkTypeEthernet));
+  append_u16(body, 0);  // reserved
+  append_u32(body, snaplen_);
+  append_u16(body, 9);  // option code if_tsresol
+  append_u16(body, 1);  // option length
+  body.push_back(std::byte{9});  // 10^-9 seconds
+  pad_to_4(body);
+  append_u16(body, 0);  // opt_endofopt
+  append_u16(body, 0);
+  write_block(kPcapngIdb, body);
+}
+
+void PcapngWriter::write_block(std::uint32_t type,
+                               std::span<const std::byte> body) {
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(12 + ((body.size() + 3) & ~std::size_t{3}));
+  out_.write(reinterpret_cast<const char*>(&type), 4);
+  out_.write(reinterpret_cast<const char*>(&total), 4);
+  out_.write(reinterpret_cast<const char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+  static constexpr char zeros[4] = {};
+  const auto pad = (4 - body.size() % 4) % 4;
+  out_.write(zeros, static_cast<std::streamsize>(pad));
+  out_.write(reinterpret_cast<const char*>(&total), 4);
+  if (!out_) throw std::runtime_error("PcapngWriter: write failed");
+}
+
+void PcapngWriter::write(std::uint64_t timestamp_ns,
+                         std::span<const std::byte> data,
+                         std::uint32_t orig_len) {
+  const auto incl =
+      static_cast<std::uint32_t>(std::min<std::size_t>(data.size(), snaplen_));
+  std::vector<std::byte> body;
+  append_u32(body, 0);  // interface id
+  append_u32(body, static_cast<std::uint32_t>(timestamp_ns >> 32));
+  append_u32(body, static_cast<std::uint32_t>(timestamp_ns));
+  append_u32(body, incl);
+  append_u32(body, orig_len);
+  body.insert(body.end(), data.begin(), data.begin() + incl);
+  pad_to_4(body);
+  write_block(kPcapngEpb, body);
+  ++packets_;
+}
+
+void PcapngWriter::write_record(const PacketRecord& rec) {
+  const std::size_t l4_hdr =
+      rec.key.proto == static_cast<std::uint8_t>(IpProto::kTcp)
+          ? kTcpMinHeaderLen
+          : rec.key.proto == static_cast<std::uint8_t>(IpProto::kUdp)
+              ? kUdpHeaderLen
+              : kIcmpMinLen;
+  const std::size_t headers = kEthHeaderLen + kIpv4MinHeaderLen + l4_hdr;
+  const std::size_t payload =
+      rec.wire_len > headers ? rec.wire_len - headers : 0;
+  const auto frame = encode_frame(rec.key, payload);
+  write(rec.timestamp_ns, frame,
+        static_cast<std::uint32_t>(
+            std::max<std::size_t>(frame.size(), rec.wire_len)));
+}
+
+// ---------------------------------------------------------------- reader
+
+PcapngReader::PcapngReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapngReader: cannot open " + path);
+  std::uint32_t type = 0, total = 0, magic = 0;
+  in_.read(reinterpret_cast<char*>(&type), 4);
+  in_.read(reinterpret_cast<char*>(&total), 4);
+  in_.read(reinterpret_cast<char*>(&magic), 4);
+  if (!in_ || type != kPcapngShb) {
+    throw std::runtime_error("PcapngReader: not a pcapng file: " + path);
+  }
+  if (magic == kByteOrderMagic) {
+    swap_ = false;
+  } else if (bswap32(magic) == kByteOrderMagic) {
+    swap_ = true;
+  } else {
+    throw std::runtime_error("PcapngReader: bad byte-order magic");
+  }
+  // Skip the rest of the SHB body + trailing length.
+  const auto block_total = swap_ ? bswap32(total) : total;
+  if (block_total < 28) {
+    throw std::runtime_error("PcapngReader: SHB too short");
+  }
+  in_.seekg(block_total - 12, std::ios::cur);
+}
+
+std::uint32_t PcapngReader::fix32(std::uint32_t v) const noexcept {
+  return swap_ ? bswap32(v) : v;
+}
+
+std::optional<PcapPacket> PcapngReader::next() {
+  for (;;) {
+    std::uint32_t header[2];
+    in_.read(reinterpret_cast<char*>(header), sizeof header);
+    if (in_.eof() && in_.gcount() == 0) return std::nullopt;
+    if (!in_ || in_.gcount() != sizeof header) {
+      throw std::runtime_error("PcapngReader: truncated block header");
+    }
+    const auto type = fix32(header[0]);
+    const auto total = fix32(header[1]);
+    if (total < 12 || total % 4 != 0 || total > 64u * 1024 * 1024) {
+      throw std::runtime_error("PcapngReader: bad block length");
+    }
+    std::vector<std::byte> body(total - 12);
+    in_.read(reinterpret_cast<char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+    std::uint32_t trailer = 0;
+    in_.read(reinterpret_cast<char*>(&trailer), 4);
+    if (!in_) throw std::runtime_error("PcapngReader: truncated block body");
+    if (fix32(trailer) != total) {
+      throw std::runtime_error("PcapngReader: block length mismatch");
+    }
+
+    if (type == kPcapngIdb) {
+      // Parse if_tsresol (option 9); default is microseconds.
+      std::uint64_t ticks = 1'000'000;
+      if (body.size() >= 8) {
+        std::size_t off = 8;
+        while (off + 4 <= body.size()) {
+          std::uint16_t code, len;
+          std::memcpy(&code, body.data() + off, 2);
+          std::memcpy(&len, body.data() + off + 2, 2);
+          if (swap_) {
+            code = static_cast<std::uint16_t>((code >> 8) | (code << 8));
+            len = static_cast<std::uint16_t>((len >> 8) | (len << 8));
+          }
+          off += 4;
+          if (code == 0) break;  // opt_endofopt
+          if (code == 9 && len >= 1 && off < body.size()) {
+            const auto resol = std::to_integer<std::uint8_t>(body[off]);
+            if (resol & 0x80) {
+              ticks = 1ULL << (resol & 0x7f);
+            } else {
+              ticks = 1;
+              for (int i = 0; i < (resol & 0x7f); ++i) ticks *= 10;
+            }
+          }
+          off += (len + 3u) & ~3u;
+        }
+      }
+      if_ticks_per_s_.push_back(ticks);
+      continue;
+    }
+    if (type != kPcapngEpb) continue;  // skip unknown blocks per spec
+
+    if (body.size() < 20) {
+      throw std::runtime_error("PcapngReader: EPB too short");
+    }
+    const auto iface = read_u32_at(body, 0, swap_);
+    const std::uint64_t ts =
+        (static_cast<std::uint64_t>(read_u32_at(body, 4, swap_)) << 32) |
+        read_u32_at(body, 8, swap_);
+    const auto incl = read_u32_at(body, 12, swap_);
+    const auto orig = read_u32_at(body, 16, swap_);
+    if (body.size() < 20 + incl) {
+      throw std::runtime_error("PcapngReader: EPB data truncated");
+    }
+    std::uint64_t ticks =
+        iface < if_ticks_per_s_.size() ? if_ticks_per_s_[iface] : 1'000'000;
+    if (ticks == 0 || ticks > 1'000'000'000ULL) ticks = 1'000'000'000ULL;
+
+    PcapPacket pkt;
+    // ts is in units of 1/ticks seconds; normalize to ns without overflow
+    // by splitting into whole seconds and sub-second ticks.
+    pkt.timestamp_ns = (ts / ticks) * 1'000'000'000ULL +
+                       (ts % ticks) * 1'000'000'000ULL / ticks;
+    pkt.orig_len = orig;
+    pkt.data.assign(body.begin() + 20, body.begin() + 20 + incl);
+    return pkt;
+  }
+}
+
+std::optional<PacketRecord> PcapngReader::next_record() {
+  for (;;) {
+    auto pkt = next();
+    if (!pkt) return std::nullopt;
+    const auto parsed = decode_frame(pkt->data);
+    if (!parsed) {
+      ++skipped_;
+      continue;
+    }
+    PacketRecord rec;
+    rec.timestamp_ns = pkt->timestamp_ns;
+    rec.key = parsed->key;
+    rec.wire_len = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(pkt->orig_len, 0xffff));
+    return rec;
+  }
+}
+
+bool is_pcapng_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::uint32_t type = 0;
+  in.read(reinterpret_cast<char*>(&type), 4);
+  return in && type == kPcapngShb;
+}
+
+PacketVector load_capture(const std::string& path) {
+  if (is_pcapng_file(path)) {
+    PcapngReader reader{path};
+    PacketVector out;
+    while (auto rec = reader.next_record()) out.push_back(*rec);
+    return out;
+  }
+  return load_pcap(path);
+}
+
+}  // namespace instameasure::netio

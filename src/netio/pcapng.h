@@ -1,0 +1,86 @@
+// pcapng (PCAP Next Generation) capture format, implemented from scratch.
+//
+// Wireshark's default since 1.8; a measurement tool that only reads classic
+// pcap cannot ingest most modern captures. Minimal but correct profile:
+//
+//   SHB (0x0A0D0D0A)  section header: byte-order magic, version
+//   IDB (0x00000001)  interface description: link type, snaplen, if_tsresol
+//   EPB (0x00000006)  enhanced packet: interface id, 64-bit timestamp,
+//                     captured/original length, packet data
+//
+// Unknown block types are skipped (per spec); both byte orders are
+// handled; timestamps honour the interface's if_tsresol option (default
+// microseconds, we write nanoseconds).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netio/packet.h"
+#include "netio/pcap.h"
+
+namespace instameasure::netio {
+
+inline constexpr std::uint32_t kPcapngShb = 0x0A0D0D0A;
+inline constexpr std::uint32_t kPcapngIdb = 0x00000001;
+inline constexpr std::uint32_t kPcapngEpb = 0x00000006;
+inline constexpr std::uint32_t kByteOrderMagic = 0x1A2B3C4D;
+
+class PcapngWriter {
+ public:
+  /// Opens (truncates) `path` and writes SHB + one Ethernet IDB with
+  /// nanosecond timestamp resolution. Throws std::runtime_error on failure.
+  explicit PcapngWriter(const std::string& path,
+                        std::uint32_t snaplen = 65535);
+
+  void write(std::uint64_t timestamp_ns, std::span<const std::byte> data,
+             std::uint32_t orig_len);
+  void write_record(const PacketRecord& rec);
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept {
+    return packets_;
+  }
+
+ private:
+  void write_block(std::uint32_t type, std::span<const std::byte> body);
+
+  std::ofstream out_;
+  std::uint32_t snaplen_;
+  std::uint64_t packets_ = 0;
+};
+
+class PcapngReader {
+ public:
+  /// Opens `path`; validates the SHB. Throws std::runtime_error on open
+  /// failure or a malformed section header.
+  explicit PcapngReader(const std::string& path);
+
+  /// Next enhanced packet (other block types are skipped); nullopt at EOF.
+  [[nodiscard]] std::optional<PcapPacket> next();
+
+  /// Next packet parsed to a PacketRecord (unparsable frames skipped).
+  [[nodiscard]] std::optional<PacketRecord> next_record();
+
+  [[nodiscard]] std::uint64_t skipped() const noexcept { return skipped_; }
+
+ private:
+  [[nodiscard]] std::uint32_t fix32(std::uint32_t v) const noexcept;
+
+  std::ifstream in_;
+  bool swap_ = false;
+  /// Ticks per second for each interface (from if_tsresol; default 1e6).
+  std::vector<std::uint64_t> if_ticks_per_s_;
+  std::uint64_t skipped_ = 0;
+};
+
+/// True if the file starts with the pcapng SHB magic (format sniffing).
+[[nodiscard]] bool is_pcapng_file(const std::string& path);
+
+/// Load any capture file — classic pcap or pcapng — as PacketRecords.
+[[nodiscard]] PacketVector load_capture(const std::string& path);
+
+}  // namespace instameasure::netio

@@ -1,0 +1,95 @@
+// Multi-core InstaMeasure (paper §IV.C, Fig 5).
+//
+// One manager dispatches packets to N worker queues; each worker owns an
+// independent InstaMeasure engine (FlowRegulator + WSAF shard) so there is
+// no shared mutable state on the fast path. Dispatch uses
+// popcount(source IP) mod N — the paper's load-spreading function — which
+// also guarantees all packets of a flow reach the same worker (popcount is
+// a pure function of the key), so shards never need cross-worker merging
+// for per-flow counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/instameasure.h"
+#include "runtime/spsc_queue.h"
+#include "trace/trace.h"
+
+namespace instameasure::runtime {
+
+/// How the manager picks a worker queue for a packet. Both are pure
+/// functions of the flow key, so a flow always lands on one worker.
+enum class DispatchPolicy {
+  kPopcount,  ///< popcount(src IP) mod N — the paper's Fig 5 selector
+  kFlowHash,  ///< full key hash mod N — better balanced (see ablation)
+};
+
+struct MultiCoreConfig {
+  unsigned workers = 4;
+  std::size_t queue_capacity = 1 << 14;
+  DispatchPolicy dispatch = DispatchPolicy::kPopcount;
+  core::EngineConfig engine{};  ///< per-worker; memory is per worker (×N total)
+};
+
+struct RunStats {
+  double wall_seconds = 0;
+  double mpps = 0;                       ///< packets / wall time
+  std::uint64_t packets = 0;
+  std::uint64_t producer_stalls = 0;     ///< full-queue backoffs
+  std::vector<std::uint64_t> per_worker_packets;
+  std::vector<std::size_t> max_queue_depth;
+  std::vector<double> worker_busy_fraction;  ///< busy polls / total polls
+};
+
+class MultiCoreEngine {
+ public:
+  explicit MultiCoreEngine(const MultiCoreConfig& config);
+  ~MultiCoreEngine();
+
+  MultiCoreEngine(const MultiCoreEngine&) = delete;
+  MultiCoreEngine& operator=(const MultiCoreEngine&) = delete;
+
+  /// Replay a preloaded trace at maximum speed (throughput mode, Fig 9a),
+  /// or paced at `pace_pps` packets/second of wall time when pace_pps > 0
+  /// (deployment mode, Fig 12: queue depth under real-time arrival).
+  /// Blocks until every packet is processed; returns timing statistics.
+  RunStats run(const trace::Trace& trace, double pace_pps = 0);
+
+  /// Worker index a key routes to, per the configured dispatch policy.
+  [[nodiscard]] unsigned worker_of(const netio::FlowKey& key) const noexcept {
+    const auto n = static_cast<unsigned>(engines_.size());
+    switch (config_.dispatch) {
+      case DispatchPolicy::kFlowHash:
+        return static_cast<unsigned>(key.hash(0x41u) % n);
+      case DispatchPolicy::kPopcount:
+        break;
+    }
+    return static_cast<unsigned>(std::popcount(key.src_ip)) % n;
+  }
+
+  /// Query routed to the owning shard (valid after run()).
+  [[nodiscard]] core::InstaMeasure::FlowEstimate query(
+      const netio::FlowKey& key) const {
+    return engines_[worker_of(key)]->query(key);
+  }
+
+  /// Merged top-K across shards.
+  [[nodiscard]] std::vector<core::TopKItem> top_k_packets(std::size_t k) const;
+  [[nodiscard]] std::vector<core::TopKItem> top_k_bytes(std::size_t k) const;
+
+  [[nodiscard]] const core::InstaMeasure& engine(unsigned worker) const {
+    return *engines_[worker];
+  }
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(engines_.size());
+  }
+
+ private:
+  MultiCoreConfig config_;
+  std::vector<std::unique_ptr<core::InstaMeasure>> engines_;
+};
+
+}  // namespace instameasure::runtime

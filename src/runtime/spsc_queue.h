@@ -1,0 +1,113 @@
+// Single-producer single-consumer lock-free ring queue.
+//
+// The multi-core InstaMeasure (paper Fig 5) gives each worker core a FIFO
+// task queue fed by one manager core; SPSC is exactly that topology. The
+// ring is a power-of-two array with cache-line-separated head/tail indices
+// (no false sharing between producer and consumer).
+#pragma once
+
+#include <atomic>
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace instameasure::runtime {
+
+// A fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the value would otherwise vary with compiler tuning flags and leak into
+// the ABI (GCC warns about exactly this).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity)
+      : mask_(std::bit_ceil(std::max<std::size_t>(capacity, 2)) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when full (caller decides to spin/drop).
+  [[nodiscard]] bool try_push(const T& value) noexcept {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  [[nodiscard]] std::optional<T> try_pop() noexcept {
+    const auto head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    T value = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Producer burst: push up to `items.size()` values, returning how many
+  /// fit. One atomic store per burst — the DPDK-style amortization the
+  /// paper's manager core relies on at line rate.
+  [[nodiscard]] std::size_t try_push_burst(std::span<const T> items) noexcept {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ + 1 - (tail - head_cache_);
+    if (free < items.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - head_cache_);
+    }
+    const std::size_t n = std::min(free, items.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = items[i];
+    }
+    if (n != 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer burst: pop up to `out.size()` values, returning how many were
+  /// popped. One atomic store per burst.
+  [[nodiscard]] std::size_t try_pop_burst(std::span<T> out) noexcept {
+    const auto head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < out.size()) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t n = std::min(avail, out.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    if (n != 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate occupancy (either side may race; used for Fig 12's queue
+  /// depth telemetry, not for control flow).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;  // consumer-local
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLine) std::size_t head_cache_ = 0;  // producer-local
+};
+
+}  // namespace instameasure::runtime

@@ -1,0 +1,70 @@
+// Standard Bloom filter.
+//
+// Utility substrate: the trace generators use it for duplicate-flow
+// screening and tests use it as a membership oracle. k hash probes derived
+// from one 64-bit hash by the Kirsch–Mitzenmacher double-hashing scheme.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace instameasure::sketch {
+
+class BloomFilter {
+ public:
+  /// Sized for `expected_items` at `fp_rate` false-positive probability.
+  BloomFilter(std::size_t expected_items, double fp_rate)
+      : n_bits_(optimal_bits(expected_items, fp_rate)),
+        n_hashes_(optimal_hashes(expected_items, n_bits_)),
+        bits_((n_bits_ + 63) / 64, 0) {}
+
+  void insert(std::uint64_t hash) noexcept {
+    const std::uint64_t h1 = util::mix64(hash);
+    const std::uint64_t h2 = util::mix64(hash ^ 0x9e3779b97f4a7c15ULL) | 1;
+    for (std::size_t i = 0; i < n_hashes_; ++i) {
+      set_bit(util::reduce_range(h1 + i * h2, n_bits_));
+    }
+  }
+
+  [[nodiscard]] bool maybe_contains(std::uint64_t hash) const noexcept {
+    const std::uint64_t h1 = util::mix64(hash);
+    const std::uint64_t h2 = util::mix64(hash ^ 0x9e3779b97f4a7c15ULL) | 1;
+    for (std::size_t i = 0; i < n_hashes_; ++i) {
+      if (!get_bit(util::reduce_range(h1 + i * h2, n_bits_))) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return n_bits_; }
+  [[nodiscard]] std::size_t hash_count() const noexcept { return n_hashes_; }
+
+  void reset() noexcept { std::fill(bits_.begin(), bits_.end(), 0); }
+
+ private:
+  static std::size_t optimal_bits(std::size_t n, double p) {
+    const double m =
+        -static_cast<double>(n) * std::log(p) / (std::log(2.0) * std::log(2.0));
+    return std::max<std::size_t>(64, static_cast<std::size_t>(m));
+  }
+  static std::size_t optimal_hashes(std::size_t n, std::size_t m) {
+    const double k = static_cast<double>(m) / static_cast<double>(n == 0 ? 1 : n) *
+                     std::log(2.0);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(k + 0.5));
+  }
+
+  void set_bit(std::uint64_t i) noexcept {
+    bits_[i >> 6] |= 1ULL << (i & 63);
+  }
+  [[nodiscard]] bool get_bit(std::uint64_t i) const noexcept {
+    return (bits_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  std::size_t n_bits_;
+  std::size_t n_hashes_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace instameasure::sketch

@@ -1,0 +1,76 @@
+// Count-Min sketch (Cormode & Muthukrishnan 2005).
+//
+// Baseline used by the delegation-based heavy-hitter detector: the classic
+// "sketch in SRAM, ship to collector each epoch" design the paper contrasts
+// with. d rows × w counters; point query = min over rows (one-sided
+// overestimate).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace instameasure::sketch {
+
+struct CountMinConfig {
+  std::size_t width = 1 << 14;  ///< counters per row
+  std::size_t depth = 4;        ///< rows
+  std::uint64_t seed = 0xc0c0;
+};
+
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(const CountMinConfig& config)
+      : config_(config), rows_(config.depth,
+                               std::vector<std::uint64_t>(config.width, 0)) {}
+
+  void add(std::uint64_t flow_hash, std::uint64_t count = 1) noexcept {
+    for (std::size_t d = 0; d < rows_.size(); ++d) {
+      rows_[d][index(flow_hash, d)] += count;
+    }
+    total_ += count;
+  }
+
+  [[nodiscard]] std::uint64_t query(std::uint64_t flow_hash) const noexcept {
+    std::uint64_t est = ~0ULL;
+    for (std::size_t d = 0; d < rows_.size(); ++d) {
+      est = std::min(est, rows_[d][index(flow_hash, d)]);
+    }
+    return est;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return config_.width * config_.depth * sizeof(std::uint64_t);
+  }
+
+  void reset() noexcept {
+    for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+    total_ = 0;
+  }
+
+  /// Merge another sketch with identical geometry (collector-side union).
+  void merge(const CountMinSketch& other) noexcept {
+    for (std::size_t d = 0; d < rows_.size(); ++d) {
+      for (std::size_t w = 0; w < rows_[d].size(); ++w) {
+        rows_[d][w] += other.rows_[d][w];
+      }
+    }
+    total_ += other.total_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t flow_hash,
+                                  std::size_t row) const noexcept {
+    const auto h = util::hash_combine(config_.seed + row * 0x9e37ULL, flow_hash);
+    return static_cast<std::size_t>(util::reduce_range(h, config_.width));
+  }
+
+  CountMinConfig config_;
+  std::vector<std::vector<std::uint64_t>> rows_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace instameasure::sketch

@@ -1,0 +1,89 @@
+#include "sketch/decode_table.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace instameasure::sketch {
+
+DecodeTable::DecodeTable(const DecodeConfig& config, unsigned mc_trials)
+    : config_(config) {
+  assert(config.vv_bits >= 2 && config.vv_bits <= 64);
+  assert(config.noise_min >= 1);
+  assert(config.noise_max >= config.noise_min);
+  assert(config.noise_max < config.vv_bits);
+
+  const unsigned b = config.vv_bits;
+
+  // Partial (ML) estimates: n(z) = ln(z/b) / ln(1 - 1/b); n(b) = 0 and the
+  // all-set state z = 0 extrapolates with z = 0.5 (the estimator's standard
+  // continuity correction).
+  partials_.assign(b + 1, 0.0);
+  const double denom = std::log(1.0 - 1.0 / static_cast<double>(b));
+  for (unsigned z = 0; z <= b; ++z) {
+    const double zz = z == 0 ? 0.5 : static_cast<double>(z);
+    partials_[z] =
+        z == b ? 0.0 : std::log(zz / static_cast<double>(b)) / denom;
+  }
+
+  // Monte-Carlo calibration of per-saturation units: simulate the isolated
+  // single-flow process until saturation, bucket packet counts by the
+  // observed noise level. Deterministic seed so builds are reproducible.
+  const unsigned levels = config.noise_max - config.noise_min + 1;
+  std::vector<double> sums(levels, 0.0);
+  std::vector<std::uint64_t> hits(levels, 0);
+  double total_pkts = 0.0;
+
+  util::Xoshiro256ss rng{0x5eedf00dULL + b * 1315423911ULL +
+                         config.noise_max * 2654435761ULL};
+  for (unsigned trial = 0; trial < mc_trials; ++trial) {
+    std::uint64_t set_mask = 0;
+    unsigned zeros = b;
+    std::uint64_t packets = 0;
+    for (;;) {
+      ++packets;
+      const auto slot = static_cast<unsigned>(rng.next_below(b));
+      const std::uint64_t bit = 1ULL << slot;
+      if (set_mask & bit) {
+        if (zeros <= config.noise_max) break;  // saturation
+        continue;                               // silent collision
+      }
+      set_mask |= bit;
+      --zeros;
+    }
+    const unsigned level =
+        zeros < config.noise_min ? config.noise_min : zeros;
+    const unsigned idx = level - config.noise_min;
+    sums[idx] += static_cast<double>(packets);
+    ++hits[idx];
+    total_pkts += static_cast<double>(packets);
+  }
+
+  units_.assign(levels, 0.0);
+  for (unsigned i = 0; i < levels; ++i) {
+    // A level that never occurred in calibration (possible only for extreme
+    // configs) falls back to the ML partial estimate plus the trigger packet.
+    units_[i] = hits[i] ? sums[i] / static_cast<double>(hits[i])
+                        : partials_[config.noise_min + i] + 1.0;
+  }
+  mean_per_saturation_ = total_pkts / static_cast<double>(mc_trials);
+}
+
+const DecodeTable& DecodeTable::shared(const DecodeConfig& config) {
+  using Key = std::tuple<unsigned, unsigned, unsigned>;
+  static std::mutex mu;
+  static std::map<Key, DecodeTable> cache;
+  const Key key{config.vv_bits, config.noise_min, config.noise_max};
+  std::scoped_lock lock{mu};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, DecodeTable{config}).first;
+  }
+  return it->second;
+}
+
+}  // namespace instameasure::sketch

@@ -1,0 +1,66 @@
+// Decode tables for the RCC virtual-vector counting process.
+//
+// Encoding sets a uniformly-random one of the flow's `b` bits per packet.
+// Saturation is declared when a packet draws an already-set bit while at
+// most `noise_max` of the flow's bits are still zero; the count of zero bits
+// at that moment is the *noise level* (clamped to [noise_min, noise_max]).
+//
+// Two estimators:
+//  - unit(level): E[packets absorbed by the vector | saturation at `level`].
+//    Calibrated once per configuration by Monte-Carlo simulation of the
+//    single-flow process (deterministic seed), so the per-saturation units
+//    are unbiased by construction regardless of the trigger's combinatorics.
+//  - partial(zeros): maximum-likelihood packet estimate for a vector that
+//    has NOT yet saturated and shows `zeros` zero bits:
+//        n(z) = ln(z/b) / ln(1 - 1/b)
+//    (coupon-collector ML; used by the end-of-measurement residual flush).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace instameasure::sketch {
+
+struct DecodeConfig {
+  unsigned vv_bits = 8;
+  unsigned noise_min = 1;
+  unsigned noise_max = 3;
+
+  friend constexpr bool operator==(const DecodeConfig&,
+                                   const DecodeConfig&) = default;
+};
+
+class DecodeTable {
+ public:
+  explicit DecodeTable(const DecodeConfig& config, unsigned mc_trials = 200'000);
+
+  /// Expected packets per saturation event at `level` (noise_min..noise_max).
+  [[nodiscard]] double unit(unsigned level) const noexcept {
+    return units_[level - config_.noise_min];
+  }
+
+  /// ML estimate for an unsaturated vector with `zeros` zero bits.
+  [[nodiscard]] double partial(unsigned zeros) const noexcept {
+    return partials_[zeros];
+  }
+
+  /// Mean packets per saturation across levels (the retention capacity of a
+  /// single layer; Fig 8a uses this).
+  [[nodiscard]] double mean_packets_per_saturation() const noexcept {
+    return mean_per_saturation_;
+  }
+
+  [[nodiscard]] const DecodeConfig& config() const noexcept { return config_; }
+
+  /// Process-wide cache: decode tables are immutable after construction and
+  /// shared between all sketches with the same configuration.
+  [[nodiscard]] static const DecodeTable& shared(const DecodeConfig& config);
+
+ private:
+  DecodeConfig config_;
+  std::vector<double> units_;     ///< indexed by level - noise_min
+  std::vector<double> partials_;  ///< indexed by zero count 0..vv_bits
+  double mean_per_saturation_ = 0;
+};
+
+}  // namespace instameasure::sketch

@@ -1,0 +1,81 @@
+// HyperLogLog cardinality estimator (Flajolet et al. 2007).
+//
+// Substrate for the super-spreader application: counting *distinct*
+// destinations per source needs a cardinality sketch, not a frequency one.
+// Standard HLL with the linear-counting small-range correction; relative
+// error ~ 1.04 / sqrt(m).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace instameasure::sketch {
+
+class HyperLogLog {
+ public:
+  /// m = 2^precision registers; precision in [4, 18].
+  explicit HyperLogLog(unsigned precision = 10)
+      : precision_(precision), registers_(std::size_t{1} << precision, 0) {}
+
+  void add(std::uint64_t hash) noexcept {
+    const auto index = hash >> (64 - precision_);
+    // Rank = position of the leftmost 1 in the remaining bits (1-based).
+    const std::uint64_t rest = (hash << precision_) | (1ULL << (precision_ - 1));
+    const auto rank = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[index]) registers_[index] = rank;
+  }
+
+  [[nodiscard]] double estimate() const noexcept {
+    const auto m = static_cast<double>(registers_.size());
+    double sum = 0;
+    std::size_t zeros = 0;
+    for (const auto r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    const double raw = alpha(registers_.size()) * m * m / sum;
+    if (raw <= 2.5 * m && zeros != 0) {
+      // Small-range correction: linear counting.
+      return m * std::log(m / static_cast<double>(zeros));
+    }
+    return raw;
+  }
+
+  /// Register-wise max: the union of the two multisets.
+  void merge(const HyperLogLog& other) noexcept {
+    for (std::size_t i = 0; i < registers_.size(); ++i) {
+      if (other.registers_[i] > registers_[i]) {
+        registers_[i] = other.registers_[i];
+      }
+    }
+  }
+
+  void reset() noexcept {
+    std::fill(registers_.begin(), registers_.end(), 0);
+  }
+
+  [[nodiscard]] std::size_t register_count() const noexcept {
+    return registers_.size();
+  }
+  /// Expected relative standard error.
+  [[nodiscard]] double standard_error() const noexcept {
+    return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+  }
+
+ private:
+  static double alpha(std::size_t m) noexcept {
+    switch (m) {
+      case 16: return 0.673;
+      case 32: return 0.697;
+      case 64: return 0.709;
+      default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+    }
+  }
+
+  unsigned precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace instameasure::sketch

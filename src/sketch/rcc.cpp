@@ -1,0 +1,43 @@
+#include "sketch/rcc.h"
+
+namespace instameasure::sketch {
+
+RccSketch::RccSketch(const RccConfig& config)
+    : config_(config),
+      n_words_(config.n_words()),
+      vv_bits_(config.vv_bits),
+      noise_min_(config.noise_min),
+      noise_max_(config.effective_noise_max()),
+      seed_(config.seed),
+      decode_(&DecodeTable::shared(config.decode_config())),
+      words_(n_words_, 0),
+      draw_rng_(config.seed ^ 0xdeadbeefcafef00dULL) {}
+
+std::optional<unsigned> RccSketch::encode(const VvLayout& layout) noexcept {
+  ++packets_;
+  std::uint64_t& word = words_[layout.word_index];
+  const auto slot = static_cast<unsigned>(
+      util::reduce_range(draw_rng_(), layout.bits));
+  const std::uint64_t bit = 1ULL << layout.pos[slot];
+
+  if (word & bit) {
+    // Collision: saturation if the vector is nearly full, silent otherwise.
+    const unsigned z = layout.zeros_in(word);
+    if (z <= noise_max_) {
+      word &= ~layout.mask;  // recycle: clear only this flow's positions
+      ++saturations_;
+      return z < noise_min_ ? noise_min_ : z;
+    }
+    return std::nullopt;
+  }
+  word |= bit;
+  return std::nullopt;
+}
+
+void RccSketch::reset() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+  packets_ = 0;
+  saturations_ = 0;
+}
+
+}  // namespace instameasure::sketch

@@ -1,0 +1,80 @@
+// Space-Saving (Metwally, Agrawal, El Abbadi 2005).
+//
+// Deterministic top-k / heavy-hitter baseline: k (key, count, error) triples;
+// an unseen key replaces the current minimum, inheriting its count as error.
+// Guarantees count <= true + min. Used by benches to contrast InstaMeasure's
+// million-entry top-K against the small-k regime of dedicated HH algorithms
+// (the paper's remark on Ben-Basat et al.'s top-512 limit).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace instameasure::sketch {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;  ///< overestimate bound inherited on eviction
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  void add(std::uint64_t key, std::uint64_t count = 1) {
+    if (const auto it = index_.find(key); it != index_.end()) {
+      entries_[it->second].count += count;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      index_.emplace(key, entries_.size());
+      entries_.push_back({key, count, 0});
+      return;
+    }
+    // Replace the minimum-count entry. Linear scan: capacity is small for
+    // this baseline (the point the paper makes), and the scan keeps the
+    // structure allocation-free in steady state.
+    std::size_t min_i = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].count < entries_[min_i].count) min_i = i;
+    }
+    index_.erase(entries_[min_i].key);
+    index_.emplace(key, min_i);
+    entries_[min_i] = {key, entries_[min_i].count + count,
+                       entries_[min_i].count};
+  }
+
+  /// Estimated count (0 if not tracked).
+  [[nodiscard]] std::uint64_t query(std::uint64_t key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].count;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    return index_.contains(key);
+  }
+
+  /// All tracked entries, sorted by count descending.
+  [[nodiscard]] std::vector<Entry> top() const {
+    auto out = entries_;
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return a.count > b.count; });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace instameasure::sketch

@@ -1,0 +1,103 @@
+// Synthetic trace generation.
+//
+// Substitute for the CAIDA 2016 and 113-hour campus traces (see DESIGN.md
+// "Substitutions"). The generator builds a flow population from explicit
+// size tiers (elephants) plus a Zipf mice tail — matching the Zipf-like
+// shape the paper reports for both datasets (Fig 6) — then scatters each
+// flow's packets across its active window and sorts by timestamp.
+//
+// Everything is seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace instameasure::trace {
+
+/// One explicit tier of flows: `count` flows whose packet counts are drawn
+/// uniformly from [min_packets, max_packets].
+struct FlowTier {
+  std::size_t count = 0;
+  std::uint64_t min_packets = 1;
+  std::uint64_t max_packets = 1;
+};
+
+/// Zipf mice tail: `n_flows` flows with sizes ~ max_packets / rank^alpha
+/// (clamped to >= 1 packet).
+struct MiceTail {
+  std::size_t n_flows = 0;
+  double alpha = 1.0;
+  std::uint64_t max_packets = 100;
+};
+
+struct PacketSizeModel {
+  /// Bimodal packet sizes: small (ACK-like) vs large (MTU-like), the classic
+  /// Internet mix. A flow draws its large-packet fraction once; packets then
+  /// sample the two modes. Sizes are wire lengths in bytes.
+  std::uint16_t small_min = 64;
+  std::uint16_t small_max = 200;
+  std::uint16_t large_min = 1000;
+  std::uint16_t large_max = 1500;
+};
+
+struct TraceConfig {
+  std::string name = "synthetic";
+  std::vector<FlowTier> tiers;
+  MiceTail mice;
+  PacketSizeModel sizes;
+  double duration_s = 60.0;
+  /// Fraction of TCP flows; the remainder splits 90/10 between UDP and ICMP.
+  double tcp_fraction = 0.85;
+  /// Optional diurnal modulation: packet times are warped so instantaneous
+  /// rate follows 1 + depth*sin(2*pi*t/period). depth 0 disables.
+  double diurnal_depth = 0.0;
+  double diurnal_period_s = 86400.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a full trace: population -> per-flow schedules -> global sort.
+[[nodiscard]] Trace generate(const TraceConfig& config);
+
+/// CAIDA-like defaults: heavy elephants + Zipf tail at ~25M packets over
+/// 60 seconds (~420 kpps), scaled by `scale` in (0, 1].
+[[nodiscard]] TraceConfig caida_like_config(double scale = 1.0,
+                                            std::uint64_t seed = 42);
+
+/// Campus-gateway-like defaults: 93.6% TCP, diurnal load, longer horizon
+/// compressed into `duration_s`.
+[[nodiscard]] TraceConfig campus_config(double scale = 1.0,
+                                        double duration_s = 240.0,
+                                        std::uint64_t seed = 7);
+
+/// Inject a constant-rate attack/heavy-hitter flow into an existing trace.
+/// Returns the key of the injected flow. The trace is re-sorted.
+struct AttackSpec {
+  double rate_pps = 10'000;
+  double start_s = 0.0;
+  double duration_s = 1.0;
+  std::uint16_t packet_len = 512;
+  std::uint64_t seed = 99;
+};
+netio::FlowKey inject_attack(Trace& trace, const AttackSpec& spec);
+
+/// Inject a port/address scan: one source contacting `n_destinations`
+/// distinct destinations with `packets_per_dst` packets each — the
+/// super-spreader workload (each contact is a mice flow). Returns the
+/// scanner's source IP. The trace is re-sorted.
+struct ScanSpec {
+  std::uint32_t src_ip = 0;  ///< 0 = pick pseudo-randomly
+  std::size_t n_destinations = 5'000;
+  unsigned packets_per_dst = 1;
+  double start_s = 0.0;
+  double duration_s = 1.0;
+  std::uint16_t packet_len = 60;
+  std::uint64_t seed = 77;
+};
+std::uint32_t inject_scan(Trace& trace, const ScanSpec& spec);
+
+/// Merge two traces by timestamp (paper merges both CAIDA directions).
+[[nodiscard]] Trace merge(const Trace& a, const Trace& b);
+
+}  // namespace instameasure::trace

@@ -1,0 +1,40 @@
+// Trace container and summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netio/packet.h"
+
+namespace instameasure::trace {
+
+struct Trace {
+  std::string name;
+  netio::PacketVector packets;  ///< sorted by timestamp_ns
+
+  [[nodiscard]] std::uint64_t duration_ns() const noexcept {
+    return packets.empty()
+               ? 0
+               : packets.back().timestamp_ns - packets.front().timestamp_ns;
+  }
+  [[nodiscard]] double duration_s() const noexcept {
+    return static_cast<double>(duration_ns()) / 1e9;
+  }
+  [[nodiscard]] double average_pps() const noexcept {
+    const auto d = duration_s();
+    return d > 0 ? static_cast<double>(packets.size()) / d : 0.0;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& p : packets) sum += p.wire_len;
+    return sum;
+  }
+};
+
+/// Packets-per-second time series over fixed intervals (Figs 7 and 12 plot
+/// the trace's pps curve next to the regulator's ips curve).
+[[nodiscard]] std::vector<double> pps_timeline(const Trace& trace,
+                                               double interval_s);
+
+}  // namespace instameasure::trace

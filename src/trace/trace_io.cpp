@@ -1,0 +1,86 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace instameasure::trace {
+namespace {
+
+constexpr char kMagic[8] = {'I', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+
+// Packed on-disk record: 8B timestamp + 4+4+2+2+1B key + 2B length = 23B
+// (+1 pad). Written field-by-field so in-memory layout changes cannot
+// corrupt the format.
+struct DiskRecord {
+  std::uint64_t timestamp_ns;
+  std::uint32_t src_ip, dst_ip;
+  std::uint16_t src_port, dst_port;
+  std::uint8_t proto;
+  std::uint8_t pad;
+  std::uint16_t wire_len;
+};
+static_assert(sizeof(DiskRecord) == 24);
+
+}  // namespace
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t count = trace.packets.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  const std::uint32_t name_len = static_cast<std::uint32_t>(trace.name.size());
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof name_len);
+  out.write(trace.name.data(), name_len);
+
+  for (const auto& rec : trace.packets) {
+    DiskRecord disk{};
+    disk.timestamp_ns = rec.timestamp_ns;
+    disk.src_ip = rec.key.src_ip;
+    disk.dst_ip = rec.key.dst_ip;
+    disk.src_port = rec.key.src_port;
+    disk.dst_port = rec.key.dst_port;
+    disk.proto = rec.key.proto;
+    disk.wire_len = rec.wire_len;
+    out.write(reinterpret_cast<const char*>(&disk), sizeof disk);
+  }
+  if (!out) throw std::runtime_error("save_trace: write failed");
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw std::runtime_error("load_trace: bad magic in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  std::uint32_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof name_len);
+  if (!in || name_len > 4096) {
+    throw std::runtime_error("load_trace: bad header");
+  }
+  Trace trace;
+  trace.name.resize(name_len);
+  in.read(trace.name.data(), name_len);
+
+  trace.packets.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DiskRecord disk{};
+    in.read(reinterpret_cast<char*>(&disk), sizeof disk);
+    if (!in) throw std::runtime_error("load_trace: truncated at record " +
+                                      std::to_string(i));
+    netio::PacketRecord rec;
+    rec.timestamp_ns = disk.timestamp_ns;
+    rec.key = netio::FlowKey{disk.src_ip, disk.dst_ip, disk.src_port,
+                             disk.dst_port, disk.proto};
+    rec.wire_len = disk.wire_len;
+    trace.packets.push_back(rec);
+  }
+  return trace;
+}
+
+}  // namespace instameasure::trace

@@ -1,0 +1,22 @@
+// Binary trace serialization.
+//
+// pcap round-trips are the fidelity path; this flat binary format is the
+// speed path for full-scale experiments: ~18 bytes/packet, no frame
+// synthesis or parsing, so multi-hundred-million-packet traces load at
+// memory bandwidth. Format: magic, record count, then packed records.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace instameasure::trace {
+
+/// Write `trace` to `path`. Throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const Trace& trace);
+
+/// Read a trace written by save_trace. Throws std::runtime_error on I/O
+/// failure or format mismatch.
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace instameasure::trace

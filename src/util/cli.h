@@ -1,0 +1,73 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Flags look like `--name=value` or `--name value`; `--flag` alone is a
+// boolean true. Unknown flags are collected so a caller can reject them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace instameasure::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg{argv[i]};
+      if (!arg.starts_with("--")) {
+        positional_.emplace_back(arg);
+        continue;
+      }
+      arg.remove_prefix(2);
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        flags_[std::string{arg.substr(0, eq)}] = std::string{arg.substr(eq + 1)};
+      } else if (i + 1 < argc && !std::string_view{argv[i + 1]}.empty() &&
+                 std::string_view{argv[i + 1]}.front() != '-') {
+        flags_[std::string{arg}] = argv[++i];
+      } else {
+        flags_[std::string{arg}] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return flags_.contains(name);
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name, double def) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : std::stod(it->second);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace instameasure::util

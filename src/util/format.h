@@ -1,0 +1,68 @@
+// Human-readable formatting helpers for bench/report output.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace instameasure::util {
+
+/// "1.50 Mpps", "980.0 kpps", "12 pps".
+[[nodiscard]] inline std::string format_rate(double per_second) {
+  char buf[64];
+  if (per_second >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f Mpps", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f kpps", per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f pps", per_second);
+  }
+  return buf;
+}
+
+/// "1.23 GB", "456.7 MB", "89.0 KB", "12 B".
+[[nodiscard]] inline std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const auto b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+/// "3.456 ms", "120.0 us", "45 ns".
+[[nodiscard]] inline std::string format_duration_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+  }
+  return buf;
+}
+
+/// "12,345,678" with thousands separators.
+[[nodiscard]] inline std::string format_count(std::uint64_t n) {
+  std::string raw = std::to_string(n);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace instameasure::util

@@ -1,0 +1,72 @@
+// Hashing primitives used throughout InstaMeasure.
+//
+// The packet fast path performs exactly one hash per packet (the paper's
+// "hash function reuse" requirement), so the primitives here are cheap,
+// seedable 64-bit mixers rather than cryptographic functions. All functions
+// are deterministic across runs given the same seed, which keeps tests and
+// benchmarks reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace instameasure::util {
+
+/// Final avalanche mixer from splitmix64 / xxhash3. Full 64-bit avalanche:
+/// every input bit affects every output bit with probability ~1/2.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine two 64-bit values into one (boost::hash_combine style but with a
+/// full-width mixer so high bits are as good as low bits).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash an arbitrary byte string (xxhash-inspired; not the canonical xxhash).
+/// Used for flow-ID hashing of raw header bytes and for pcap payload checks.
+[[nodiscard]] inline std::uint64_t hash_bytes(std::span<const std::byte> data,
+                                              std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = seed ^ (0x27d4eb2f165667c5ULL + data.size());
+  std::size_t i = 0;
+  while (i + 8 <= data.size()) {
+    std::uint64_t k;
+    std::memcpy(&k, data.data() + i, 8);
+    h = hash_combine(h, k);
+    i += 8;
+  }
+  std::uint64_t tail = 0;
+  std::size_t shift = 0;
+  while (i < data.size()) {
+    tail |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(data[i]))
+            << shift;
+    shift += 8;
+    ++i;
+  }
+  if (shift != 0) h = hash_combine(h, tail);
+  return mix64(h);
+}
+
+[[nodiscard]] inline std::uint64_t hash_bytes(std::string_view s,
+                                              std::uint64_t seed = 0) noexcept {
+  return hash_bytes(std::as_bytes(std::span{s.data(), s.size()}), seed);
+}
+
+/// Reduce a 64-bit hash onto [0, n) without modulo bias (Lemire's
+/// multiply-shift reduction). n must be > 0.
+[[nodiscard]] constexpr std::uint64_t reduce_range(std::uint64_t hash,
+                                                   std::uint64_t n) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace instameasure::util

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// Two generators:
+//  - SplitMix64: tiny, used for seeding and for per-packet bit selection on
+//    the sketch fast path (one multiply-xor round per draw).
+//  - Xoshiro256ss: general-purpose generator for trace synthesis; satisfies
+//    std::uniform_random_bit_generator so it plugs into <random>.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/hash.h"
+
+namespace instameasure::util {
+
+/// SplitMix64 (Steele, Lea, Flood). State advances by the golden-gamma; each
+/// output is a full avalanche of the state, so short sequences are already
+/// well distributed.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed = 0) noexcept
+      : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256ss(std::uint64_t seed = 1) noexcept {
+    SplitMix64 sm{seed};
+    for (auto& s : s_) s = sm();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) without modulo bias.
+  constexpr std::uint64_t next_below(std::uint64_t n) noexcept {
+    return reduce_range((*this)(), n);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace instameasure::util

@@ -1,0 +1,112 @@
+// Streaming statistics and histograms used by the analysis and bench layers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace instameasure::util {
+
+/// Welford's online mean/variance. Numerically stable; O(1) per sample.
+class StreamingStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean: stddev / sqrt(n). The paper reports
+  /// per-band "standard errors" of relative estimation error (Fig 13).
+  [[nodiscard]] double standard_error() const noexcept {
+    return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Supports percentile queries by bucket interpolation.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) noexcept {
+    const auto b = bucket_of(x);
+    ++counts_[b];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Value at quantile q in [0, 1], interpolated within the bucket.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double next = cum + static_cast<double>(counts_[i]);
+      if (next >= target) {
+        const double frac =
+            counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+        return lo_ + (static_cast<double>(i) + frac) * width();
+      }
+      cum = next;
+    }
+    return hi_;
+  }
+
+ private:
+  [[nodiscard]] double width() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] std::size_t bucket_of(double x) const noexcept {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    return std::min(counts_.size() - 1,
+                    static_cast<std::size_t>((x - lo_) / width()));
+  }
+
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile over a collected sample set (for small/medium N).
+[[nodiscard]] inline double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(idx),
+                   values.end());
+  return values[idx];
+}
+
+}  // namespace instameasure::util

@@ -1,0 +1,60 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace instameasure::util {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha > 0.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfDistribution::h(double x) const {
+  // For alpha == 1 the antiderivative of x^-1 is log x; otherwise
+  // x^(1-alpha) / (1-alpha). Guard against alpha within epsilon of 1.
+  const double one_minus = 1.0 - alpha_;
+  if (std::abs(one_minus) < 1e-12) return std::log(x);
+  return std::pow(x, one_minus) / one_minus;
+}
+
+double ZipfDistribution::h_inv(double x) const {
+  const double one_minus = 1.0 - alpha_;
+  if (std::abs(one_minus) < 1e-12) return std::exp(x);
+  return std::pow(x * one_minus, 1.0 / one_minus);
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256ss& rng) const {
+  if (n_ == 1) return 1;
+  // Rejection-inversion: sample u over the transformed area, invert, accept
+  // if the continuous envelope matches the discrete mass at round(x).
+  for (;;) {
+    const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    k = std::clamp<std::uint64_t>(k, 1, n_);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= h(kd + 0.5) - std::pow(kd, -alpha_)) {
+      return k;
+    }
+  }
+}
+
+std::vector<std::uint64_t> zipf_flow_sizes(std::size_t n_flows, double alpha,
+                                           std::uint64_t max_size) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(n_flows);
+  for (std::size_t r = 1; r <= n_flows; ++r) {
+    const double s =
+        static_cast<double>(max_size) / std::pow(static_cast<double>(r), alpha);
+    sizes.push_back(std::max<std::uint64_t>(1, static_cast<std::uint64_t>(s)));
+  }
+  return sizes;
+}
+
+}  // namespace instameasure::util

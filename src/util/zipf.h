@@ -1,0 +1,53 @@
+// Zipf-distributed sampling for trace synthesis.
+//
+// Internet flow-size distributions are Zipf-like (paper §III, citing Breslau
+// et al.): rank-r flow has weight proportional to 1/r^alpha. Two tools:
+//
+//  - ZipfDistribution: draws ranks in [1, n] with P(r) ∝ r^-alpha using
+//    rejection-inversion (Hörmann & Derflinger), O(1) per draw even for
+//    n in the hundreds of millions — no O(n) table needed.
+//  - zipf_flow_sizes: deterministic per-rank expected sizes, used when a
+//    generator wants "flow #r has ~S/r^alpha packets" without sampling noise.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace instameasure::util {
+
+/// Samples ranks from a Zipf(alpha) distribution over [1, n] by
+/// rejection-inversion. alpha may be any positive value != 1 is handled via
+/// the generalized harmonic transform (alpha == 1 uses the log transform).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double alpha);
+
+  /// Draw one rank in [1, n].
+  [[nodiscard]] std::uint64_t operator()(Xoshiro256ss& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  // H(x) = integral of x^-alpha: the "area" transform used by
+  // rejection-inversion; h_inv is its inverse.
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_inv(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;         // H(1.5) - 1
+  double h_n_;          // H(n + 0.5)
+  double s_;            // 2 - h_inv(H(2.5) - 2^-alpha)
+};
+
+/// Expected flow sizes for a Zipf(alpha) population: size(r) is scaled so the
+/// largest flow has max_size packets; every flow has at least 1 packet.
+[[nodiscard]] std::vector<std::uint64_t> zipf_flow_sizes(std::size_t n_flows,
+                                                         double alpha,
+                                                         std::uint64_t max_size);
+
+}  // namespace instameasure::util

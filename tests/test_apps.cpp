@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ground_truth.h"
+#include "apps/superspreader.h"
+#include "apps/traffic_stats.h"
+#include "core/instameasure.h"
+#include "trace/generator.h"
+
+namespace instameasure::apps {
+namespace {
+
+// ---------- SuperSpreaderDetector ----------
+
+trace::Trace background_trace() {
+  trace::TraceConfig config;
+  config.duration_s = 2.0;
+  config.tiers = {{5, 2'000, 8'000}};
+  config.mice = {10'000, 1.0, 20};
+  config.seed = 61;
+  return trace::generate(config);
+}
+
+TEST(SuperSpreader, DetectsPlantedScanner) {
+  auto trace = background_trace();
+  trace::ScanSpec scan;
+  scan.n_destinations = 4'000;
+  scan.packets_per_dst = 1;
+  scan.start_s = 0.5;
+  scan.seed = 9;
+  const auto scanner = inject_scan(trace, scan);
+
+  SuperSpreaderDetector detector{SuperSpreaderConfig{}};
+  for (const auto& rec : trace.packets) detector.offer(rec);
+
+  const auto top = detector.top(3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top.front().src_ip, scanner);
+  EXPECT_NEAR(top.front().distinct_dsts / 4000.0, 1.0, 0.15);
+}
+
+TEST(SuperSpreader, RanksTwoScannersByFanout) {
+  auto trace = background_trace();
+  trace::ScanSpec big;
+  big.n_destinations = 5'000;
+  big.seed = 11;
+  trace::ScanSpec small;
+  small.n_destinations = 800;
+  small.seed = 12;
+  const auto big_src = inject_scan(trace, big);
+  const auto small_src = inject_scan(trace, small);
+
+  SuperSpreaderDetector detector{SuperSpreaderConfig{}};
+  for (const auto& rec : trace.packets) detector.offer(rec);
+
+  const auto top = detector.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].src_ip, big_src);
+  EXPECT_EQ(top[1].src_ip, small_src);
+  EXPECT_GT(top[0].distinct_dsts, top[1].distinct_dsts * 3);
+}
+
+TEST(SuperSpreader, RepeatContactsDoNotCount) {
+  SuperSpreaderDetector detector{SuperSpreaderConfig{}};
+  netio::PacketRecord rec;
+  rec.key = netio::FlowKey{0xAABB, 0xCCDD, 1, 2, 6};
+  rec.wire_len = 60;
+  for (int i = 0; i < 10'000; ++i) detector.offer(rec);
+  // One (src, dst) pair, hammered: distinct destinations ~ 1, not 10000.
+  EXPECT_LT(detector.distinct_destinations(0xAABB), 5.0);
+}
+
+TEST(SuperSpreader, NormalSourcesNotFlagged) {
+  const auto trace = background_trace();
+  SuperSpreaderDetector detector{SuperSpreaderConfig{}};
+  for (const auto& rec : trace.packets) detector.offer(rec);
+  // Background flows have random sources; no source should show thousands
+  // of distinct destinations.
+  for (const auto& spreader : detector.top(5)) {
+    EXPECT_LT(spreader.distinct_dsts, 100.0);
+  }
+}
+
+// ---------- flow statistics ----------
+
+TEST(TrafficStats, EntropyClosedFormCases) {
+  EXPECT_DOUBLE_EQ(flow_size_entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(flow_size_entropy({5.0}), 0.0) << "single flow: H = 0";
+  EXPECT_NEAR(flow_size_entropy({1, 1, 1, 1}), 2.0, 1e-12)
+      << "four equal flows: H = 2 bits";
+  EXPECT_NEAR(flow_size_entropy({2, 2}), 1.0, 1e-12);
+  // Skew lowers entropy below uniform.
+  EXPECT_LT(flow_size_entropy({1000, 1, 1, 1}), 2.0);
+}
+
+TEST(TrafficStats, WsafEntropyTracksTruthOverMeasurableRegion) {
+  const auto trace = background_trace();
+  const analysis::GroundTruth truth{trace};
+
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 64 * 1024;
+  config.wsaf.log2_entries = 16;
+  core::InstaMeasure engine{config};
+  for (const auto& rec : trace.packets) engine.process(rec);
+
+  // Truth entropy over the same region the WSAF can see (flows that emit
+  // at least one saturation event ~ >= 150 packets to be safe).
+  std::vector<double> truth_sizes;
+  for (const auto& [key, t] : truth.flows()) {
+    if (t.packets >= 150) truth_sizes.push_back(static_cast<double>(t.packets));
+  }
+  const double truth_h = flow_size_entropy(truth_sizes);
+  const double est_h = wsaf_entropy(engine.wsaf());
+  EXPECT_NEAR(est_h, truth_h, 0.8) << "entropy in bits";
+}
+
+TEST(TrafficStats, FsdBucketsMatchTruthForElephants) {
+  const auto trace = background_trace();
+  const analysis::GroundTruth truth{trace};
+
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 64 * 1024;
+  config.wsaf.log2_entries = 16;
+  core::InstaMeasure engine{config};
+  for (const auto& rec : trace.packets) engine.process(rec);
+
+  const std::vector<std::uint64_t> edges{1'000, 4'000};
+  const auto fsd = flow_size_distribution(engine.wsaf(), edges);
+  ASSERT_EQ(fsd.size(), 2u);
+
+  std::uint64_t truth_1k = 0, truth_4k = 0;
+  for (const auto& [key, t] : truth.flows()) {
+    if (t.packets >= 4'000) {
+      ++truth_4k;
+    } else if (t.packets >= 1'000) {
+      ++truth_1k;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fsd[1].flows),
+              static_cast<double>(truth_4k), 1.0);
+  EXPECT_NEAR(static_cast<double>(fsd[0].flows),
+              static_cast<double>(truth_1k),
+              std::max(1.0, 0.3 * static_cast<double>(truth_1k)));
+}
+
+TEST(TrafficStats, FsdEmptyWsaf) {
+  core::WsafConfig config;
+  config.log2_entries = 4;
+  const core::WsafTable table{config};
+  const auto fsd = flow_size_distribution(table, {10, 100});
+  EXPECT_EQ(fsd[0].flows, 0u);
+  EXPECT_EQ(fsd[1].flows, 0u);
+}
+
+}  // namespace
+}  // namespace instameasure::apps

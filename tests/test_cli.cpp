@@ -1,0 +1,67 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace instameasure::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keeps c_str()s alive
+  storage.assign(args.begin(), args.end());
+  storage.insert(storage.begin(), "prog");
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return CliArgs{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(CliArgs, EqualsForm) {
+  const auto args = parse({"--scale=0.5", "--name=test"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(args.get("name", ""), "test");
+}
+
+TEST(CliArgs, SpaceForm) {
+  const auto args = parse({"--count", "42"});
+  EXPECT_EQ(args.get_int("count", 0), 42);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_EQ(args.get("missing", "d"), "d");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto args = parse({"input.pcap", "--k=10", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.pcap");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+  EXPECT_EQ(args.get_int("k", 0), 10);
+}
+
+TEST(CliArgs, BoolSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).get_bool("a", true));
+}
+
+TEST(CliArgs, NegativeNumberAsValueOfEqualsForm) {
+  const auto args = parse({"--offset=-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace instameasure::util

@@ -1,0 +1,107 @@
+#include "netio/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+
+namespace instameasure::netio {
+namespace {
+
+struct CodecCase {
+  IpProto proto;
+  std::size_t payload;
+};
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, KeySurvivesEncodeDecode) {
+  const auto [proto, payload] = GetParam();
+  FlowKey key{0x0A000001, 0xC0A80A02, 12345, 80,
+              static_cast<std::uint8_t>(proto)};
+  const auto frame = encode_frame(key, payload);
+  const auto parsed = decode_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, key);
+  EXPECT_EQ(parsed->frame_len, frame.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsAndSizes, CodecRoundTrip,
+    ::testing::Values(CodecCase{IpProto::kTcp, 0},
+                      CodecCase{IpProto::kTcp, 100},
+                      CodecCase{IpProto::kTcp, 1460},
+                      CodecCase{IpProto::kUdp, 0},
+                      CodecCase{IpProto::kUdp, 512},
+                      CodecCase{IpProto::kIcmp, 0},
+                      CodecCase{IpProto::kIcmp, 56}));
+
+TEST(Codec, MinimumFrameIs60Bytes) {
+  FlowKey key{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kUdp)};
+  const auto frame = encode_frame(key, 0);
+  EXPECT_GE(frame.size(), 60u);
+}
+
+TEST(Codec, Ipv4TotalLengthMatchesHeadersPlusPayload) {
+  FlowKey key{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)};
+  const auto frame = encode_frame(key, 100);
+  const auto parsed = decode_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ip_total_len, kIpv4MinHeaderLen + kTcpMinHeaderLen + 100);
+}
+
+TEST(Codec, Ipv4HeaderChecksumValidates) {
+  FlowKey key{0xDEADBEEF, 0xCAFEBABE, 1, 2,
+              static_cast<std::uint8_t>(IpProto::kTcp)};
+  const auto frame = encode_frame(key, 10);
+  // Checksum over the IPv4 header including its checksum field must be 0.
+  const auto header = std::span{frame}.subspan(kEthHeaderLen, kIpv4MinHeaderLen);
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+TEST(Codec, RejectsTruncatedFrame) {
+  FlowKey key{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)};
+  auto frame = encode_frame(key, 0);
+  frame.resize(20);
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(Codec, RejectsNonIpv4EtherType) {
+  FlowKey key{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)};
+  auto frame = encode_frame(key, 0);
+  frame[12] = std::byte{0x86};  // 0x86dd = IPv6
+  frame[13] = std::byte{0xdd};
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(Codec, RejectsUnsupportedProtocol) {
+  FlowKey key{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)};
+  auto frame = encode_frame(key, 0);
+  frame[kEthHeaderLen + 9] = std::byte{47};  // GRE
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(Codec, RejectsIpv6VersionNibble) {
+  FlowKey key{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)};
+  auto frame = encode_frame(key, 0);
+  frame[kEthHeaderLen] = std::byte{0x65};  // version 6
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::array<std::uint8_t, 8> data{0x00, 0x01, 0xf2, 0x03,
+                                         0xf4, 0xf5, 0xf6, 0xf7};
+  const auto sum = internet_checksum(std::as_bytes(std::span{data}));
+  EXPECT_EQ(sum, 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthHandled) {
+  const std::array<std::uint8_t, 3> data{0xff, 0x00, 0xab};
+  // Manual: 0xff00 + 0xab00 = 0x1aa00 -> fold 0xaa01 -> ~ = 0x55fe.
+  EXPECT_EQ(internet_checksum(std::as_bytes(std::span{data})), 0x55fe);
+}
+
+}  // namespace
+}  // namespace instameasure::netio

@@ -1,0 +1,116 @@
+#include "sketch/counter_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace instameasure::sketch {
+namespace {
+
+CounterTreeConfig small_config() {
+  CounterTreeConfig config;
+  config.leaves = 1 << 16;
+  config.leaf_bits = 4;
+  config.degree = 8;
+  return config;
+}
+
+TEST(CounterTree, SmallFlowStaysInLeaf) {
+  CounterTree tree{small_config()};
+  for (int i = 0; i < 10; ++i) tree.add(0xAA);
+  EXPECT_EQ(tree.total_overflows(), 0u);
+  EXPECT_NEAR(tree.estimate(0xAA), 10.0, 1e-9);
+}
+
+TEST(CounterTree, LeafOverflowCarriesToParent) {
+  CounterTree tree{small_config()};
+  // 16 increments = exactly one overflow for 4-bit leaves.
+  for (int i = 0; i < 16; ++i) tree.add(0xBB);
+  EXPECT_EQ(tree.total_overflows(), 1u);
+  EXPECT_NEAR(tree.estimate(0xBB), 16.0, 0.01);
+}
+
+TEST(CounterTree, IsolatedElephantExact) {
+  CounterTree tree{small_config()};
+  constexpr std::uint64_t kPackets = 100'000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) tree.add(0xCC);
+  // Single flow: noise term is its own overflows spread over all leaves,
+  // negligible; estimate should be near-exact.
+  EXPECT_NEAR(tree.estimate(0xCC) / static_cast<double>(kPackets), 1.0, 0.01);
+}
+
+TEST(CounterTree, ElephantAccurateUnderBackgroundLoad) {
+  CounterTree tree{small_config()};
+  util::SplitMix64 keys{5};
+  for (int f = 0; f < 50'000; ++f) {
+    const auto key = keys();
+    for (int i = 0; i < 20; ++i) tree.add(key);
+  }
+  constexpr std::uint64_t kPackets = 200'000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) tree.add(0xDD);
+  EXPECT_NEAR(tree.estimate(0xDD) / static_cast<double>(kPackets), 1.0, 0.10);
+}
+
+TEST(CounterTree, SmallFlowsNoisyUnderSharing) {
+  // The design trade-off: sibling carries pollute parents, so flows near
+  // the leaf capacity decode with real noise — and decode needs the global
+  // overflow total (offline), unlike FlowRegulator's online events.
+  CounterTree tree{small_config()};
+  util::SplitMix64 keys{6};
+  for (int f = 0; f < 200'000; ++f) {
+    const auto key = keys();
+    for (int i = 0; i < 30; ++i) tree.add(key);
+  }
+  // Estimates exist and are non-negative, but individual 30-packet flows
+  // can be off by multiples of the leaf capacity.
+  util::SplitMix64 probe{6};
+  double worst = 0;
+  for (int f = 0; f < 1000; ++f) {
+    const double est = tree.estimate(probe());
+    EXPECT_GE(est, 0.0);
+    worst = std::max(worst, std::abs(est - 30.0));
+  }
+  EXPECT_GT(worst, 10.0) << "sharing noise must be visible at this load";
+}
+
+TEST(CounterTree, MemoryAccounting) {
+  CounterTreeConfig config;
+  config.leaves = 1024;
+  config.leaf_bits = 4;
+  config.degree = 8;
+  const CounterTree tree{config};
+  // 1024 x 4 bits = 512B leaves + 128 x 4B parents = 1024B.
+  EXPECT_EQ(tree.memory_bytes(), 512u + 512u);
+}
+
+TEST(CounterTree, ResetClears) {
+  CounterTree tree{small_config()};
+  for (int i = 0; i < 100; ++i) tree.add(1);
+  tree.reset();
+  EXPECT_EQ(tree.total(), 0u);
+  EXPECT_EQ(tree.total_overflows(), 0u);
+  EXPECT_NEAR(tree.estimate(1), 0.0, 1e-9);
+}
+
+class CounterTreeLeafBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CounterTreeLeafBits, WiderLeavesOverflowLess) {
+  CounterTreeConfig config = small_config();
+  config.leaf_bits = GetParam();
+  CounterTree narrow{config};
+  config.leaf_bits = GetParam() + 2;
+  CounterTree wide{config};
+  for (int i = 0; i < 50'000; ++i) {
+    narrow.add(0xEE);
+    wide.add(0xEE);
+  }
+  EXPECT_GT(narrow.total_overflows(), wide.total_overflows());
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafWidths, CounterTreeLeafBits,
+                         ::testing::Values(2u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace instameasure::sketch

@@ -1,0 +1,100 @@
+#include "sketch/decode_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace instameasure::sketch {
+namespace {
+
+TEST(DecodeTable, PartialEstimatesAreMonotone) {
+  const DecodeTable table{DecodeConfig{8, 1, 3}};
+  // Fewer zero bits means more packets absorbed.
+  for (unsigned z = 1; z <= 8; ++z) {
+    EXPECT_GT(table.partial(z - 1), table.partial(z))
+        << "partial must decrease with zeros, z=" << z;
+  }
+  EXPECT_DOUBLE_EQ(table.partial(8), 0.0) << "untouched vector holds nothing";
+}
+
+TEST(DecodeTable, PartialMatchesCouponCollectorFormula) {
+  const DecodeTable table{DecodeConfig{8, 1, 3}};
+  // n(z) = ln(z/8) / ln(7/8).
+  EXPECT_NEAR(table.partial(4), std::log(0.5) / std::log(7.0 / 8.0), 1e-9);
+}
+
+TEST(DecodeTable, UnitsAreOrderedByNoiseLevel) {
+  const DecodeTable table{DecodeConfig{8, 1, 3}};
+  // Saturating with fewer zeros left means more packets were absorbed.
+  EXPECT_GT(table.unit(1), table.unit(2));
+  EXPECT_GT(table.unit(2), table.unit(3));
+}
+
+TEST(DecodeTable, UnitsInPlausibleRangeFor8Bits) {
+  const DecodeTable table{DecodeConfig{8, 1, 3}};
+  // The paper: an 8-bit vector retains on the order of 9 packets; per-level
+  // units bracket that.
+  for (unsigned level = 1; level <= 3; ++level) {
+    EXPECT_GT(table.unit(level), 2.0);
+    EXPECT_LT(table.unit(level), 25.0);
+  }
+  EXPECT_GT(table.mean_packets_per_saturation(), 4.0);
+  EXPECT_LT(table.mean_packets_per_saturation(), 15.0);
+}
+
+TEST(DecodeTable, CalibrationIsUnbiasedForSingleFlow) {
+  // Re-simulate the single-flow process with an independent RNG: the sum of
+  // per-saturation units must track the true packet count within ~2%.
+  const DecodeConfig config{8, 1, 3};
+  const DecodeTable table{config};
+  util::Xoshiro256ss rng{777};
+  double estimated = 0;
+  std::uint64_t actual = 0;
+  std::uint64_t mask = 0;
+  unsigned zeros = 8;
+  for (int i = 0; i < 2'000'000; ++i) {
+    ++actual;
+    const auto slot = static_cast<unsigned>(rng.next_below(8));
+    const std::uint64_t bit = 1ULL << slot;
+    if (mask & bit) {
+      if (zeros <= config.noise_max) {
+        const unsigned level = zeros < config.noise_min ? config.noise_min : zeros;
+        estimated += table.unit(level);
+        mask = 0;
+        zeros = 8;
+      }
+      continue;
+    }
+    mask |= bit;
+    --zeros;
+  }
+  EXPECT_NEAR(estimated / static_cast<double>(actual), 1.0, 0.02);
+}
+
+TEST(DecodeTable, SharedCacheReturnsSameInstance) {
+  const auto& a = DecodeTable::shared(DecodeConfig{8, 1, 3});
+  const auto& b = DecodeTable::shared(DecodeConfig{8, 1, 3});
+  EXPECT_EQ(&a, &b);
+  const auto& c = DecodeTable::shared(DecodeConfig{16, 1, 6});
+  EXPECT_NE(&a, &c);
+}
+
+class DecodeTableSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DecodeTableSizes, LargerVectorsRetainMore) {
+  const unsigned b = GetParam();
+  const unsigned noise_max = std::max(1u, b * 3 / 8);
+  const DecodeTable small{DecodeConfig{b, 1, noise_max}};
+  const unsigned b2 = b * 2;
+  const DecodeTable big{DecodeConfig{b2, 1, std::max(1u, b2 * 3 / 8)}};
+  EXPECT_GT(big.mean_packets_per_saturation(),
+            small.mean_packets_per_saturation());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecodeTableSizes,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace instameasure::sketch

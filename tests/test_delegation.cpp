@@ -1,0 +1,164 @@
+#include "delegation/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace instameasure::delegation {
+namespace {
+
+// ---------- SimulatedChannel ----------
+
+TEST(Channel, DeliversAfterDelay) {
+  ChannelConfig config;
+  config.delay_ms = 10.0;
+  SimulatedChannel<int> channel{config};
+  const auto deliver = channel.send(1'000'000, 42);
+  ASSERT_TRUE(deliver.has_value());
+  EXPECT_EQ(*deliver, 1'000'000u + 10'000'000u);
+  EXPECT_TRUE(channel.deliver_until(*deliver - 1).empty());
+  const auto out = channel.deliver_until(*deliver);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 42);
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(Channel, DeliveryOrderIsByDeliveryTime) {
+  ChannelConfig config;
+  config.delay_ms = 5.0;
+  SimulatedChannel<int> channel{config};
+  (void)channel.send(2'000'000, 2);  // delivers at 7ms
+  (void)channel.send(1'000'000, 1);  // delivers at 6ms
+  const auto out = channel.deliver_until(100'000'000);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 1);
+  EXPECT_EQ(out[1].second, 2);
+}
+
+TEST(Channel, LossDropsMessages) {
+  ChannelConfig config;
+  config.loss_rate = 1.0;
+  SimulatedChannel<int> channel{config};
+  EXPECT_FALSE(channel.send(0, 1).has_value());
+  EXPECT_EQ(channel.lost(), 1u);
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(Channel, JitterBoundedAndDeterministic) {
+  ChannelConfig config;
+  config.delay_ms = 10.0;
+  config.jitter_ms = 5.0;
+  config.seed = 1;
+  SimulatedChannel<int> a{config}, b{config};
+  for (int i = 0; i < 100; ++i) {
+    const auto da = a.send(0, i);
+    const auto db = b.send(0, i);
+    ASSERT_TRUE(da.has_value());
+    EXPECT_EQ(*da, *db) << "same seed, same jitter";
+    EXPECT_GE(*da, 10'000'000u);
+    EXPECT_LT(*da, 15'000'000u);
+  }
+}
+
+// ---------- Exporter / Collector ----------
+
+PipelineConfig test_config() {
+  PipelineConfig config;
+  config.epoch_ms = 10.0;
+  config.channel.delay_ms = 20.0;
+  config.sketch.width = 1 << 12;
+  config.sketch.depth = 4;
+  config.packet_threshold = 100;
+  return config;
+}
+
+netio::PacketRecord pkt(const netio::FlowKey& key, std::uint64_t ts) {
+  return netio::PacketRecord{ts, key, 100};
+}
+
+TEST(Exporter, FlushesOncePerEpoch) {
+  const auto config = test_config();
+  SimulatedChannel<sketch::CountMinSketch> channel{config.channel};
+  Exporter exporter{config, &channel};
+  const netio::FlowKey key{1, 2, 3, 4, 6};
+  // 35ms of packets at 10ms epochs -> 3 boundary flushes.
+  for (std::uint64_t t = 0; t < 35; ++t) {
+    exporter.offer(pkt(key, t * 1'000'000));
+  }
+  EXPECT_EQ(exporter.epochs_flushed(), 3u);
+  exporter.flush(35'000'000);
+  EXPECT_EQ(exporter.epochs_flushed(), 4u);
+  EXPECT_EQ(channel.sent(), 4u);
+}
+
+TEST(Collector, DetectsOnlyAfterDelivery) {
+  const auto config = test_config();
+  SimulatedChannel<sketch::CountMinSketch> channel{config.channel};
+  Exporter exporter{config, &channel};
+  Collector collector{config};
+  const netio::FlowKey key{9, 9, 9, 9, 17};
+  const std::vector<netio::FlowKey> watched{key};
+
+  // 200 packets in the first 5ms: crosses threshold 100 at ~2.5ms, but the
+  // epoch closes at ~10ms and delivery lands ~30ms.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    exporter.offer(pkt(key, i * 25'000));
+    collector.poll(channel, i * 25'000, watched);
+  }
+  EXPECT_FALSE(collector.detection_time(key).has_value())
+      << "nothing delivered yet";
+  exporter.roll_to(10'000'001);  // close the first epoch at t=10ms...
+  collector.poll(channel, 60'000'000, watched);
+  const auto detected = collector.detection_time(key);
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_GE(*detected, 30'000'000u) << "epoch end (10ms) + delay (20ms)";
+}
+
+TEST(RunPipeline, EndToEndDetection) {
+  const auto config = test_config();
+  const netio::FlowKey key{5, 6, 7, 8, 6};
+  netio::PacketVector packets;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    packets.push_back(pkt(key, i * 100'000));  // 50ms of traffic
+  }
+  const auto run = run_pipeline(packets, config, {key});
+  ASSERT_TRUE(run.detections.contains(key));
+  // Crossing happens ~10ms in; detection must wait for an epoch boundary
+  // plus the 20ms channel delay.
+  EXPECT_GE(run.detections.at(key), 30'000'000u);
+  EXPECT_GE(run.epochs, 5u);
+  EXPECT_EQ(run.sketches_delivered, run.epochs);
+}
+
+TEST(RunPipeline, UndetectedWhenBelowThreshold) {
+  const auto config = test_config();
+  const netio::FlowKey key{5, 6, 7, 8, 6};
+  netio::PacketVector packets;
+  for (std::uint64_t i = 0; i < 50; ++i) {  // below threshold 100
+    packets.push_back(pkt(key, i * 100'000));
+  }
+  const auto run = run_pipeline(packets, config, {key});
+  EXPECT_FALSE(run.detections.contains(key));
+}
+
+TEST(RunPipeline, LossyChannelDelaysDetection) {
+  auto lossless = test_config();
+  auto lossy = test_config();
+  lossy.channel.loss_rate = 0.5;
+  lossy.channel.seed = 3;
+
+  const netio::FlowKey key{1, 1, 1, 1, 17};
+  netio::PacketVector packets;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    packets.push_back(pkt(key, i * 20'000));  // 100ms of traffic
+  }
+  const auto clean = run_pipeline(packets, lossless, {key});
+  const auto noisy = run_pipeline(packets, lossy, {key});
+  ASSERT_TRUE(clean.detections.contains(key));
+  ASSERT_TRUE(noisy.detections.contains(key));
+  EXPECT_GE(noisy.detections.at(key), clean.detections.at(key))
+      << "losing epochs can only delay the crossing";
+}
+
+}  // namespace
+}  // namespace instameasure::delegation

@@ -1,0 +1,117 @@
+#include "core/epoch_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace instameasure::core {
+namespace {
+
+EpochConfig small_config(std::uint64_t epoch_ns, bool reset) {
+  EpochConfig config;
+  config.engine.regulator.l1_memory_bytes = 32 * 1024;
+  config.engine.wsaf.log2_entries = 12;
+  config.epoch_ns = epoch_ns;
+  config.snapshot_top_k = 3;
+  config.reset_each_epoch = reset;
+  return config;
+}
+
+netio::PacketRecord packet(std::uint32_t flow, std::uint64_t ts) {
+  return netio::PacketRecord{
+      ts, netio::FlowKey{flow, ~flow, 80, 443, 6}, 500};
+}
+
+TEST(EpochEngine, RotatesAtBoundaries) {
+  // 1ms epochs, packets spanning 3.5ms -> 3 boundary rotations + flush.
+  EpochEngine engine{small_config(1'000'000, false)};
+  for (std::uint64_t i = 0; i < 3'500; ++i) {
+    engine.process(packet(7, i * 1'000));
+  }
+  engine.flush(3'500'000);
+  ASSERT_EQ(engine.history().size(), 4u);
+  EXPECT_EQ(engine.history()[0].boundary_ns, 1'000'000u);
+  EXPECT_EQ(engine.history()[2].boundary_ns, 3'000'000u);
+  EXPECT_EQ(engine.history()[3].boundary_ns, 3'500'000u) << "flush boundary";
+}
+
+TEST(EpochEngine, PerEpochPacketCounts) {
+  EpochEngine engine{small_config(1'000'000, false)};
+  for (std::uint64_t i = 0; i < 2'000; ++i) {
+    engine.process(packet(7, i * 1'000));  // exactly 1000 packets/epoch
+  }
+  engine.flush(2'000'000);
+  ASSERT_GE(engine.history().size(), 2u);
+  EXPECT_EQ(engine.history()[0].packets_processed, 1'000u);
+  EXPECT_EQ(engine.history()[1].packets_processed, 1'000u);
+}
+
+TEST(EpochEngine, CumulativeModeKeepsCounts) {
+  // Paper protocol: counters run for the whole measurement; snapshots are
+  // cumulative top-K lists that can only grow.
+  EpochEngine engine{small_config(1'000'000, false)};
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    engine.process(packet(9, i * 50));  // 5ms of one elephant
+  }
+  engine.flush(5'000'000);
+  const auto& history = engine.history();
+  ASSERT_GE(history.size(), 4u);
+  double prev = 0;
+  for (const auto& snap : history) {
+    if (snap.top_packets.empty()) continue;
+    EXPECT_GE(snap.top_packets[0].packets, prev)
+        << "cumulative counts are monotone";
+    prev = snap.top_packets[0].packets;
+  }
+  EXPECT_NEAR(history.back().top_packets[0].packets / 100'000.0, 1.0, 0.1);
+}
+
+TEST(EpochEngine, IntervalModeResetsCounts) {
+  EpochEngine engine{small_config(1'000'000, true)};
+  // Flow active only in the first epoch.
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    engine.process(packet(5, i * 40));  // 0..0.8ms
+  }
+  // Quiet second epoch: a single different mouse packet to advance time.
+  engine.process(packet(6, 1'900'000));
+  engine.flush(2'000'000);
+  ASSERT_GE(engine.history().size(), 2u);
+  const auto& first = engine.history()[0];
+  const auto& second = engine.history()[1];
+  ASSERT_FALSE(first.top_packets.empty());
+  EXPECT_GT(first.top_packets[0].packets, 10'000.0);
+  // After the reset, the old elephant is gone from the second snapshot.
+  for (const auto& item : second.top_packets) {
+    EXPECT_NE(item.key.src_ip, 5u);
+  }
+}
+
+TEST(EpochEngine, TopKOrderingWithinSnapshot) {
+  EpochEngine engine{small_config(10'000'000, false)};
+  std::uint64_t ts = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    engine.process(packet(1, ts++));
+    if (i % 2 == 0) engine.process(packet(2, ts++));
+    if (i % 4 == 0) engine.process(packet(3, ts++));
+  }
+  engine.flush(ts);
+  ASSERT_FALSE(engine.history().empty());
+  const auto& top = engine.history().back().top_packets;
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key.src_ip, 1u);
+  EXPECT_EQ(top[1].key.src_ip, 2u);
+  EXPECT_EQ(top[2].key.src_ip, 3u);
+}
+
+TEST(EpochEngine, QuietGapProducesEmptyEpochs) {
+  EpochEngine engine{small_config(1'000'000, false)};
+  engine.process(packet(1, 0));
+  engine.process(packet(1, 4'500'000));  // 4.5ms later
+  engine.flush(5'000'000);
+  // Boundaries at 1,2,3,4 ms plus the flush: five snapshots, middle ones
+  // with zero packets.
+  ASSERT_EQ(engine.history().size(), 5u);
+  EXPECT_EQ(engine.history()[1].packets_processed, 0u);
+  EXPECT_EQ(engine.history()[2].packets_processed, 0u);
+}
+
+}  // namespace
+}  // namespace instameasure::core

@@ -1,0 +1,104 @@
+#include "netio/flow_key.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace instameasure::netio {
+namespace {
+
+FlowKey sample_key() {
+  return FlowKey{0xC0A80001, 0x08080808, 443, 51234,
+                 static_cast<std::uint8_t>(IpProto::kTcp)};
+}
+
+TEST(FlowKey, EqualityAndOrdering) {
+  const auto a = sample_key();
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.src_port = 444;
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(FlowKey, HashIsDeterministic) {
+  const auto a = sample_key();
+  EXPECT_EQ(a.hash(), a.hash());
+  EXPECT_EQ(a.hash(7), a.hash(7));
+  EXPECT_NE(a.hash(7), a.hash(8)) << "seed must perturb the hash";
+}
+
+TEST(FlowKey, EveryFieldAffectsHash) {
+  const auto base = sample_key();
+  auto k = base;
+  k.src_ip ^= 1;
+  EXPECT_NE(base.hash(), k.hash());
+  k = base;
+  k.dst_ip ^= 1;
+  EXPECT_NE(base.hash(), k.hash());
+  k = base;
+  k.src_port ^= 1;
+  EXPECT_NE(base.hash(), k.hash());
+  k = base;
+  k.dst_port ^= 1;
+  EXPECT_NE(base.hash(), k.hash());
+  k = base;
+  k.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_NE(base.hash(), k.hash());
+}
+
+TEST(FlowKey, DirectionMatters) {
+  // A 5-tuple and its reverse are distinct L4 flows.
+  const auto fwd = sample_key();
+  FlowKey rev{fwd.dst_ip, fwd.src_ip, fwd.dst_port, fwd.src_port, fwd.proto};
+  EXPECT_NE(fwd.hash(), rev.hash());
+}
+
+TEST(FlowKey, Id32DerivedFromHash) {
+  const auto key = sample_key();
+  EXPECT_EQ(key.id32(), static_cast<std::uint32_t>(key.hash() >> 32));
+}
+
+TEST(FlowKey, FewCollisionsAcrossRandomKeys) {
+  std::set<std::uint64_t> hashes;
+  std::uint64_t state = 1;
+  for (int i = 0; i < 100000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    FlowKey key{static_cast<std::uint32_t>(state >> 32),
+                static_cast<std::uint32_t>(state),
+                static_cast<std::uint16_t>(state >> 8),
+                static_cast<std::uint16_t>(state >> 24),
+                static_cast<std::uint8_t>(6)};
+    hashes.insert(key.hash());
+  }
+  EXPECT_EQ(hashes.size(), 100000u);
+}
+
+TEST(FlowKey, WorksInUnorderedContainers) {
+  std::unordered_set<FlowKey, FlowKeyHash> set;
+  set.insert(sample_key());
+  EXPECT_TRUE(set.contains(sample_key()));
+  auto other = sample_key();
+  other.dst_port = 1;
+  EXPECT_FALSE(set.contains(other));
+}
+
+TEST(FlowKey, ToStringFormat) {
+  EXPECT_EQ(sample_key().to_string(), "192.168.0.1:443->8.8.8.8:51234/TCP");
+}
+
+TEST(Ipv4ToString, Formats) {
+  EXPECT_EQ(ipv4_to_string(0x7F000001), "127.0.0.1");
+  EXPECT_EQ(ipv4_to_string(0), "0.0.0.0");
+  EXPECT_EQ(ipv4_to_string(0xFFFFFFFF), "255.255.255.255");
+}
+
+TEST(IpProto, ToString) {
+  EXPECT_STREQ(to_string(IpProto::kTcp), "TCP");
+  EXPECT_STREQ(to_string(IpProto::kUdp), "UDP");
+  EXPECT_STREQ(to_string(IpProto::kIcmp), "ICMP");
+}
+
+}  // namespace
+}  // namespace instameasure::netio

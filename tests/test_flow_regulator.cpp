@@ -1,0 +1,188 @@
+#include "core/flow_regulator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace instameasure::core {
+namespace {
+
+FlowRegulatorConfig paper_config() {
+  FlowRegulatorConfig config;
+  config.l1_memory_bytes = 32 * 1024;  // paper default: 128KB total
+  config.vv_bits = 8;
+  return config;
+}
+
+TEST(FlowRegulatorConfig, PaperMemoryAccounting) {
+  const auto config = paper_config();
+  EXPECT_EQ(config.banks(), 3u) << "8-bit vv yields three L2 banks";
+  EXPECT_EQ(config.total_memory_bytes(), 128u * 1024u)
+      << "32KB L1 -> 128KB total, as in the paper";
+}
+
+TEST(FlowRegulator, EmitsEventsForElephantFlow) {
+  FlowRegulator fr{paper_config()};
+  std::uint64_t events = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (fr.offer(0xE1E1E1, 1000)) ++events;
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(fr.l2_saturations(), events);
+  EXPECT_GT(fr.l1_saturations(), fr.l2_saturations())
+      << "L1 saturates more often than L2 by design";
+}
+
+TEST(FlowRegulator, RetentionCapacityAroundHundredPackets) {
+  // Paper Fig 8a: the 16-bit (8+8) two-layer design retains ~100 packets
+  // per WSAF insertion.
+  FlowRegulator fr{paper_config()};
+  for (int i = 0; i < 2'000'000; ++i) (void)fr.offer(0xABCD, 500);
+  EXPECT_GT(fr.mean_packets_per_event(), 50.0);
+  EXPECT_LT(fr.mean_packets_per_event(), 200.0);
+}
+
+TEST(FlowRegulator, RegulationRateAboutOnePercent) {
+  // Paper §III.A / Fig 7: ~1.02% regulation for a saturating stream.
+  FlowRegulator fr{paper_config()};
+  for (int i = 0; i < 2'000'000; ++i) (void)fr.offer(0x1234, 500);
+  EXPECT_GT(fr.regulation_rate(), 0.003);
+  EXPECT_LT(fr.regulation_rate(), 0.03);
+}
+
+TEST(FlowRegulator, SingleFlowEstimateIsAccurate) {
+  FlowRegulator fr{paper_config()};
+  constexpr std::uint64_t kPackets = 1'000'000;
+  double estimate = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (const auto event = fr.offer(0xFEED, 800)) {
+      estimate += event->est_packets;
+    }
+  }
+  estimate += fr.residual_packets(0xFEED);
+  EXPECT_NEAR(estimate / static_cast<double>(kPackets), 1.0, 0.05);
+}
+
+TEST(FlowRegulator, ByteEstimateTracksFixedPacketSize) {
+  FlowRegulator fr{paper_config()};
+  constexpr std::uint64_t kPackets = 500'000;
+  constexpr std::uint16_t kLen = 750;
+  double est_bytes = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (const auto event = fr.offer(0xBEEF, kLen)) {
+      est_bytes += event->est_bytes;
+    }
+  }
+  est_bytes += fr.residual_bytes(0xBEEF);
+  const double truth = static_cast<double>(kPackets) * kLen;
+  EXPECT_NEAR(est_bytes / truth, 1.0, 0.05);
+}
+
+TEST(FlowRegulator, MiceFlowsAreRetainedNotEmitted) {
+  FlowRegulator fr{paper_config()};
+  util::SplitMix64 hashes{21};
+  std::uint64_t events = 0;
+  constexpr int kFlows = 30'000;
+  for (int f = 0; f < kFlows; ++f) {
+    const auto h = hashes();
+    for (int i = 0; i < 3; ++i) {
+      if (fr.offer(h, 100)) ++events;
+    }
+  }
+  // 3-packet mice need ~100 packets to traverse both layers; with moderate
+  // sharing noise almost none should emit.
+  EXPECT_LT(static_cast<double>(events) / kFlows, 0.01);
+}
+
+TEST(FlowRegulator, ResidualSeesMiceFlows) {
+  FlowRegulator fr{paper_config()};
+  const std::uint64_t flow = 0x77;
+  for (int i = 0; i < 5; ++i) (void)fr.offer(flow, 200);
+  const double residual = fr.residual_packets(flow);
+  EXPECT_GT(residual, 1.0);
+  EXPECT_LT(residual, 30.0);
+}
+
+TEST(FlowRegulator, ResidualZeroForUnseenFlow) {
+  FlowRegulator fr{paper_config()};
+  EXPECT_DOUBLE_EQ(fr.residual_packets(0xDEAD), 0.0);
+  EXPECT_DOUBLE_EQ(fr.residual_bytes(0xDEAD), 0.0);
+}
+
+TEST(FlowRegulator, ResetRestoresInitialState) {
+  FlowRegulator fr{paper_config()};
+  for (int i = 0; i < 10'000; ++i) (void)fr.offer(0x42, 100);
+  fr.reset();
+  EXPECT_EQ(fr.packets(), 0u);
+  EXPECT_EQ(fr.l1_saturations(), 0u);
+  EXPECT_EQ(fr.l2_saturations(), 0u);
+  EXPECT_DOUBLE_EQ(fr.residual_packets(0x42), 0.0);
+}
+
+TEST(FlowRegulator, TwoLayerRegulatesBetterThanOneLayerRcc) {
+  // The paper's core claim (Fig 7): two layers cut the WSAF insertion rate
+  // by roughly an order of magnitude versus single-layer RCC.
+  FlowRegulator fr{paper_config()};
+  sketch::RccSketch rcc{paper_config().layer_config()};
+  const std::uint64_t flow = 0x5151;
+  const auto layout = rcc.layout_of(flow);
+  for (int i = 0; i < 1'000'000; ++i) {
+    (void)fr.offer(flow, 100);
+    (void)rcc.encode(layout);
+  }
+  EXPECT_LT(fr.regulation_rate(), rcc.regulation_rate() / 5.0);
+}
+
+class FrVectorSizeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FrVectorSizeTest, AccuracyHoldsAcrossVectorSizes) {
+  FlowRegulatorConfig config = paper_config();
+  config.vv_bits = GetParam();
+  FlowRegulator fr{config};
+  constexpr std::uint64_t kPackets = 500'000;
+  double estimate = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (const auto event = fr.offer(0xCAFE, 100)) {
+      estimate += event->est_packets;
+    }
+  }
+  estimate += fr.residual_packets(0xCAFE);
+  // Paper Fig 8c: accuracy degrades for tiny vectors; 4-bit layers are the
+  // known-bad case, so tolerate more error there.
+  const double tolerance = GetParam() <= 4 ? 0.25 : 0.08;
+  EXPECT_NEAR(estimate / static_cast<double>(kPackets), 1.0, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrVectorSizeTest,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+class FrFlowSizeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrFlowSizeTest, EstimateUnbiasedAcrossFlowSizes) {
+  // Property: emitted events + residual track the true count for flows
+  // spanning three orders of magnitude. Small flows carry more relative
+  // noise (they live mostly in the residual), so tolerance scales down
+  // with size.
+  const std::uint64_t size = GetParam();
+  FlowRegulator fr{paper_config()};
+  double estimate = 0;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    if (const auto event = fr.offer(0xF00D + size, 400)) {
+      estimate += event->est_packets;
+    }
+  }
+  estimate += fr.residual_packets(0xF00D + size);
+  const double tolerance = size >= 100'000 ? 0.05
+                           : size >= 10'000 ? 0.10
+                           : size >= 1'000  ? 0.25
+                                            : 0.60;
+  EXPECT_NEAR(estimate / static_cast<double>(size), 1.0, tolerance)
+      << "flow size " << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowSizes, FrFlowSizeTest,
+                         ::testing::Values(100u, 1'000u, 10'000u, 100'000u,
+                                           1'000'000u));
+
+}  // namespace
+}  // namespace instameasure::core

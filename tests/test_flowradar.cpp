@@ -1,0 +1,118 @@
+#include "baselines/flowradar.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace instameasure::baselines {
+namespace {
+
+FlowRadarConfig config_for(std::size_t cells) {
+  FlowRadarConfig config;
+  config.counting_cells = cells;
+  config.k = 3;
+  config.expected_flows = cells;
+  return config;
+}
+
+TEST(FlowRadar, SingleFlowDecodesExactly) {
+  FlowRadar radar{config_for(1024)};
+  for (int i = 0; i < 500; ++i) radar.offer(0xABCDEF);
+  const auto result = radar.decode();
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_EQ(result.flows.at(0xABCDEF), 500u);
+}
+
+TEST(FlowRadar, ManyFlowsUnderThresholdDecodeExactly) {
+  // 2000 flows in 4096 cells (load ~0.49, well under the k=3 peeling
+  // threshold ~0.81): decode must be complete and every count exact.
+  FlowRadar radar{config_for(4096)};
+  util::SplitMix64 keys{7};
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int f = 0; f < 2000; ++f) {
+    const auto key = keys();
+    const std::uint64_t count = 1 + (key % 40);
+    for (std::uint64_t i = 0; i < count; ++i) radar.offer(key);
+    truth[key] += count;
+  }
+  const auto result = radar.decode();
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.flows.size(), truth.size());
+  for (const auto& [key, count] : truth) {
+    ASSERT_TRUE(result.flows.contains(key));
+    EXPECT_EQ(result.flows.at(key), count) << "FlowRadar decode is exact";
+  }
+}
+
+TEST(FlowRadar, OverloadedTableFailsToDecodeFully) {
+  // 4000 flows in 2048 cells: far beyond the peeling threshold — the hard
+  // cliff the paper's related-work section alludes to.
+  FlowRadar radar{config_for(2048)};
+  util::SplitMix64 keys{8};
+  for (int f = 0; f < 4000; ++f) {
+    const auto key = keys();
+    radar.offer(key);
+    radar.offer(key);
+  }
+  const auto result = radar.decode();
+  EXPECT_FALSE(result.complete);
+  EXPECT_LT(result.flows.size(), 4000u);
+}
+
+TEST(FlowRadar, DecodeClfCollapsesNearThreshold) {
+  // Success is near-certain at load 0.5 and near-impossible at load 1.5:
+  // the transition is sharp (IBLT percolation).
+  util::SplitMix64 keys{9};
+  auto run = [&](std::size_t flows, std::size_t cells) {
+    FlowRadar radar{config_for(cells)};
+    for (std::size_t f = 0; f < flows; ++f) radar.offer(keys());
+    return radar.decode();
+  };
+  EXPECT_TRUE(run(1000, 2048).complete);
+  EXPECT_FALSE(run(3000, 2048).complete);
+}
+
+TEST(FlowRadar, IpsEqualsPps) {
+  // The design keeps ips = pps (constant-time insertions) rather than
+  // relaxing the rate — the paper's §VI contrast.
+  FlowRadar radar{config_for(1024)};
+  EXPECT_DOUBLE_EQ(radar.table_update_rate(), 1.0);
+}
+
+TEST(FlowRadar, StatsTrackStream) {
+  FlowRadar radar{config_for(1024)};
+  for (int i = 0; i < 10; ++i) radar.offer(1);
+  for (int i = 0; i < 5; ++i) radar.offer(2);
+  EXPECT_EQ(radar.packets(), 15u);
+  EXPECT_EQ(radar.flows_seen(), 2u);
+}
+
+TEST(FlowRadar, ResetClears) {
+  FlowRadar radar{config_for(512)};
+  for (int i = 0; i < 100; ++i) radar.offer(42);
+  radar.reset();
+  EXPECT_EQ(radar.packets(), 0u);
+  const auto result = radar.decode();
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.flows.empty());
+}
+
+class FlowRadarLoadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlowRadarLoadTest, DecodeSucceedsBelowPeelingThreshold) {
+  // k=3 IBLT peeling succeeds w.h.p. while flows/cells < ~0.81.
+  const double load = GetParam();
+  constexpr std::size_t kCells = 8192;
+  FlowRadar radar{config_for(kCells)};
+  util::SplitMix64 keys{10 + static_cast<std::uint64_t>(load * 100)};
+  const auto flows = static_cast<std::size_t>(load * kCells);
+  for (std::size_t f = 0; f < flows; ++f) radar.offer(keys());
+  EXPECT_TRUE(radar.decode().complete) << "load " << load;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, FlowRadarLoadTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.75));
+
+}  // namespace
+}  // namespace instameasure::baselines

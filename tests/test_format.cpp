@@ -1,0 +1,97 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+
+namespace instameasure::util {
+namespace {
+
+TEST(FormatRate, Units) {
+  EXPECT_EQ(format_rate(1'500'000), "1.50 Mpps");
+  EXPECT_EQ(format_rate(12'300), "12.3 kpps");
+  EXPECT_EQ(format_rate(42), "42 pps");
+  EXPECT_EQ(format_rate(0), "0 pps");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(2'500'000'000ULL), "2.50 GB");
+  EXPECT_EQ(format_bytes(33'000'000), "33.0 MB");
+  EXPECT_EQ(format_bytes(131'072), "131.1 KB");
+  EXPECT_EQ(format_bytes(12), "12 B");
+}
+
+TEST(FormatDuration, Units) {
+  EXPECT_EQ(format_duration_ns(2.5e9), "2.50 s");
+  EXPECT_EQ(format_duration_ns(3.456e6), "3.456 ms");
+  EXPECT_EQ(format_duration_ns(120e3), "120.0 us");
+  EXPECT_EQ(format_duration_ns(45), "45 ns");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1'000), "1,000");
+  EXPECT_EQ(format_count(12'345'678), "12,345,678");
+  EXPECT_EQ(format_count(100'000), "100,000");
+}
+
+TEST(ReportTable, RendersAlignedColumns) {
+  analysis::Table table{{"name", "value"}};
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-longer", "23456"});
+
+  // Render into a memstream and verify structure.
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  table.print(stream);
+  std::fclose(stream);
+  const std::string out{buffer, size};
+  free(buffer);
+
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| beta-longer"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // All lines equal width (aligned table).
+  std::size_t first_nl = out.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  std::size_t pos = 0, line_len = first_nl;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, line_len) << "ragged table row";
+    pos = nl + 1;
+  }
+}
+
+TEST(ReportCell, PrintfFormatting) {
+  EXPECT_EQ(analysis::cell("%.2f%%", 12.3456), "12.35%");
+  EXPECT_EQ(analysis::cell("%d/%d", 3, 7), "3/7");
+}
+
+}  // namespace
+}  // namespace instameasure::util
+
+// Umbrella-header smoke test: one TU including everything must compile and
+// the headline types must be usable together.
+#include "instameasure.h"
+
+namespace instameasure {
+namespace {
+
+TEST(UmbrellaHeader, EverythingVisible) {
+  core::EngineConfig config;
+  config.wsaf.log2_entries = 6;
+  const core::InstaMeasure engine{config};
+  EXPECT_EQ(engine.packets_processed(), 0u);
+  const sketch::BloomFilter bloom{16, 0.1};
+  EXPECT_GT(bloom.bit_count(), 0u);
+  const memmodel::WsafBudget budget;
+  EXPECT_GT(budget.max_ips(memmodel::MemoryKind::kDram), 0.0);
+}
+
+}  // namespace
+}  // namespace instameasure

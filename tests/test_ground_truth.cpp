@@ -1,0 +1,97 @@
+#include "analysis/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace instameasure::analysis {
+namespace {
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, n ^ 0xffff, 1000, 80, 17};
+}
+
+trace::Trace manual_trace() {
+  trace::Trace trace;
+  trace.name = "manual";
+  // Flow 1: 3 packets of 100B at t=0,10,20us; flow 2: 1 packet of 700B.
+  trace.packets = {
+      {0, key_n(1), 100},
+      {5'000, key_n(2), 700},
+      {10'000, key_n(1), 100},
+      {20'000, key_n(1), 100},
+  };
+  return trace;
+}
+
+TEST(GroundTruth, CountsPacketsAndBytes) {
+  const GroundTruth truth{manual_trace()};
+  EXPECT_EQ(truth.flow_count(), 2u);
+  const auto* f1 = truth.find(key_n(1));
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(f1->packets, 3u);
+  EXPECT_EQ(f1->bytes, 300u);
+  EXPECT_EQ(f1->first_ns, 0u);
+  EXPECT_EQ(f1->last_ns, 20'000u);
+  const auto* f2 = truth.find(key_n(2));
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f2->packets, 1u);
+  EXPECT_EQ(f2->bytes, 700u);
+}
+
+TEST(GroundTruth, FindMissingReturnsNull) {
+  const GroundTruth truth{manual_trace()};
+  EXPECT_EQ(truth.find(key_n(99)), nullptr);
+}
+
+TEST(GroundTruth, IncrementalAddMatchesBulk) {
+  const auto trace = manual_trace();
+  GroundTruth incremental;
+  for (const auto& rec : trace.packets) incremental.add(rec);
+  const GroundTruth bulk{trace};
+  EXPECT_EQ(incremental.flow_count(), bulk.flow_count());
+  EXPECT_EQ(incremental.find(key_n(1))->packets,
+            bulk.find(key_n(1))->packets);
+}
+
+TEST(GroundTruth, TopKKeysByPackets) {
+  const GroundTruth truth{manual_trace()};
+  const auto top = truth.top_k_keys(1, /*by_bytes=*/false);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], key_n(1));
+}
+
+TEST(GroundTruth, TopKKeysByBytes) {
+  const GroundTruth truth{manual_trace()};
+  const auto top = truth.top_k_keys(1, /*by_bytes=*/true);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], key_n(2)) << "700B flow out-ranks 300B flow by bytes";
+}
+
+TEST(GroundTruth, TopKLargerThanPopulation) {
+  const GroundTruth truth{manual_trace()};
+  EXPECT_EQ(truth.top_k_keys(10, false).size(), 2u);
+}
+
+TEST(GroundTruth, CrossingTimePackets) {
+  const auto trace = manual_trace();
+  const auto t = GroundTruth::crossing_time_ns(trace, key_n(1), 2, false);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 10'000u) << "second packet crosses a threshold of 2";
+}
+
+TEST(GroundTruth, CrossingTimeBytes) {
+  const auto trace = manual_trace();
+  const auto t = GroundTruth::crossing_time_ns(trace, key_n(2), 700, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 5'000u);
+}
+
+TEST(GroundTruth, CrossingNeverHappens) {
+  const auto trace = manual_trace();
+  EXPECT_FALSE(
+      GroundTruth::crossing_time_ns(trace, key_n(1), 100, false).has_value());
+  EXPECT_FALSE(
+      GroundTruth::crossing_time_ns(trace, key_n(42), 1, false).has_value());
+}
+
+}  // namespace
+}  // namespace instameasure::analysis

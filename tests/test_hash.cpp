@@ -1,0 +1,90 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace instameasure::util {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_EQ(mix64(0), mix64(0));
+}
+
+TEST(Mix64, DistinguishesNearbyInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u) << "sequential inputs must not collide";
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping any single input bit should flip roughly half the output bits.
+  const std::uint64_t base = 0x0123456789abcdefULL;
+  const std::uint64_t h0 = mix64(base);
+  for (int bit = 0; bit < 64; ++bit) {
+    const auto h1 = mix64(base ^ (1ULL << bit));
+    const int flipped = std::popcount(h0 ^ h1);
+    EXPECT_GT(flipped, 12) << "weak avalanche at bit " << bit;
+    EXPECT_LT(flipped, 52) << "weak avalanche at bit " << bit;
+  }
+}
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(HashBytes, EmptyAndShortInputs) {
+  EXPECT_EQ(hash_bytes(std::string_view{}), hash_bytes(std::string_view{}));
+  EXPECT_NE(hash_bytes(std::string_view{"a"}),
+            hash_bytes(std::string_view{"b"}));
+  EXPECT_NE(hash_bytes(std::string_view{"a"}),
+            hash_bytes(std::string_view{""}));
+}
+
+TEST(HashBytes, SeedChangesResult) {
+  EXPECT_NE(hash_bytes(std::string_view{"flow"}, 1),
+            hash_bytes(std::string_view{"flow"}, 2));
+}
+
+TEST(HashBytes, LengthExtensionDiffers) {
+  // "abc" vs "abc\0" style prefixes must hash differently.
+  const std::string a(8, 'x');
+  const std::string b(9, 'x');
+  EXPECT_NE(hash_bytes(std::string_view{a}), hash_bytes(std::string_view{b}));
+}
+
+TEST(HashBytes, TailBytesAffectHash) {
+  // Inputs differing only in the non-8-byte-aligned tail must differ.
+  std::string a = "0123456789";  // 10 bytes: 8-byte word + 2-byte tail
+  std::string b = a;
+  b[9] = 'X';
+  EXPECT_NE(hash_bytes(std::string_view{a}), hash_bytes(std::string_view{b}));
+}
+
+TEST(ReduceRange, StaysInRange) {
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 63ULL, 64ULL, 1000ULL}) {
+    for (std::uint64_t h :
+         {0ULL, 1ULL, ~0ULL, 0x8000000000000000ULL, 12345678901234ULL}) {
+      EXPECT_LT(reduce_range(h, n), n);
+    }
+  }
+}
+
+TEST(ReduceRange, RoughlyUniform) {
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[reduce_range(mix64(static_cast<std::uint64_t>(i)), kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.10);
+  }
+}
+
+}  // namespace
+}  // namespace instameasure::util

@@ -1,0 +1,78 @@
+#include "sketch/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace instameasure::sketch {
+namespace {
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  const HyperLogLog hll{10};
+  EXPECT_NEAR(hll.estimate(), 0.0, 0.5);
+}
+
+TEST(HyperLogLog, SmallCardinalitiesExact) {
+  // Linear counting regime: tiny sets should be near-exact.
+  HyperLogLog hll{12};
+  for (std::uint64_t i = 1; i <= 50; ++i) hll.add(util::mix64(i));
+  EXPECT_NEAR(hll.estimate(), 50.0, 3.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll{10};
+  for (int rep = 0; rep < 100; ++rep) {
+    for (std::uint64_t i = 1; i <= 20; ++i) hll.add(util::mix64(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 20.0, 3.0);
+}
+
+class HllCardinalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllCardinalityTest, WithinThreeSigma) {
+  const auto n = GetParam();
+  HyperLogLog hll{11};  // m = 2048, sigma ~ 2.3%
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    hll.add(util::mix64(i * 0x9e3779b97f4a7c15ULL));
+  }
+  const double est = hll.estimate();
+  const double sigma = hll.standard_error();
+  EXPECT_NEAR(est / static_cast<double>(n), 1.0, 3.5 * sigma)
+      << "n=" << n << " est=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllCardinalityTest,
+                         ::testing::Values(1'000u, 10'000u, 100'000u,
+                                           1'000'000u));
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a{11}, b{11}, u{11};
+  for (std::uint64_t i = 1; i <= 5'000; ++i) {
+    a.add(util::mix64(i));
+    u.add(util::mix64(i));
+  }
+  for (std::uint64_t i = 3'000; i <= 8'000; ++i) {
+    b.add(util::mix64(i));
+    u.add(util::mix64(i));
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), u.estimate())
+      << "register-wise max is exactly the union sketch";
+}
+
+TEST(HyperLogLog, ResetClears) {
+  HyperLogLog hll{8};
+  for (std::uint64_t i = 0; i < 1000; ++i) hll.add(util::mix64(i));
+  hll.reset();
+  EXPECT_NEAR(hll.estimate(), 0.0, 0.5);
+}
+
+TEST(HyperLogLog, PrecisionControlsError) {
+  util::Xoshiro256ss rng{5};
+  HyperLogLog coarse{6}, fine{14};
+  EXPECT_GT(coarse.standard_error(), fine.standard_error() * 10);
+}
+
+}  // namespace
+}  // namespace instameasure::sketch

@@ -1,0 +1,161 @@
+// End-to-end integration tests: trace synthesis -> pcap round trip ->
+// measurement -> accuracy/recall/HH verdicts, exercising the public API the
+// way the benches and examples do.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "analysis/ground_truth.h"
+#include "analysis/metrics.h"
+#include "core/instameasure.h"
+#include "netio/pcap.h"
+#include "trace/generator.h"
+
+namespace instameasure {
+namespace {
+
+core::EngineConfig default_engine() {
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 32 * 1024;  // 128KB total
+  config.wsaf.log2_entries = 16;
+  return config;
+}
+
+trace::Trace medium_trace() {
+  trace::TraceConfig config;
+  config.duration_s = 5.0;
+  config.tiers = {
+      {5, 50'000, 100'000},
+      {30, 5'000, 20'000},
+      {200, 500, 2'000},
+  };
+  config.mice = {100'000, 1.05, 50};
+  config.seed = 1234;
+  return trace::generate(config);
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new trace::Trace{medium_trace()};
+    truth_ = new analysis::GroundTruth{*trace_};
+  }
+  static void TearDownTestSuite() {
+    delete truth_;
+    delete trace_;
+    truth_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static trace::Trace* trace_;
+  static analysis::GroundTruth* truth_;
+};
+
+trace::Trace* IntegrationTest::trace_ = nullptr;
+analysis::GroundTruth* IntegrationTest::truth_ = nullptr;
+
+TEST_F(IntegrationTest, ElephantAccuracyWithinPaperRange) {
+  core::InstaMeasure engine{default_engine()};
+  for (const auto& rec : trace_->packets) engine.process(rec);
+
+  const auto bands = analysis::banded_errors(
+      *truth_,
+      [&](const netio::FlowKey& key) { return engine.query(key).packets; },
+      {500, 5'000, 50'000}, /*by_bytes=*/false);
+  ASSERT_EQ(bands.size(), 3u);
+  // Larger flows must measure more accurately; largest band < 5% error.
+  EXPECT_LT(bands[2].mean_abs_rel_error, 0.05);
+  EXPECT_LT(bands[1].mean_abs_rel_error, 0.12);
+  EXPECT_LT(bands[0].mean_abs_rel_error, 0.35);
+}
+
+TEST_F(IntegrationTest, ByteAccuracyTracksPacketAccuracy) {
+  core::InstaMeasure engine{default_engine()};
+  for (const auto& rec : trace_->packets) engine.process(rec);
+
+  const auto bands = analysis::banded_errors(
+      *truth_,
+      [&](const netio::FlowKey& key) { return engine.query(key).bytes; },
+      {5'000'000, 50'000'000}, /*by_bytes=*/true);
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_LT(bands[1].mean_abs_rel_error, 0.10);
+  EXPECT_LT(bands[0].mean_abs_rel_error, 0.20);
+}
+
+TEST_F(IntegrationTest, TopKRecallAboveNinetyPercent) {
+  core::InstaMeasure engine{default_engine()};
+  for (const auto& rec : trace_->packets) engine.process(rec);
+
+  const auto truth_top = truth_->top_k_keys(20, false);
+  std::vector<netio::FlowKey> est_top_keys;
+  for (const auto& item : engine.top_k_packets(20)) {
+    est_top_keys.push_back(item.key);
+  }
+  EXPECT_GE(analysis::top_k_recall(truth_top, est_top_keys), 0.9);
+}
+
+TEST_F(IntegrationTest, HeavyHitterAccuracy) {
+  auto config = default_engine();
+  config.heavy_hitter.packet_threshold = 10'000;
+  core::InstaMeasure engine{config};
+  for (const auto& rec : trace_->packets) engine.process(rec);
+
+  std::vector<netio::FlowKey> detected;
+  for (const auto& det : engine.detections()) {
+    if (det.metric == core::TopKMetric::kPackets) detected.push_back(det.key);
+  }
+  const auto acc =
+      analysis::heavy_hitter_accuracy(*truth_, detected, 10'000, false);
+  EXPECT_GT(acc.true_hh_count, 0u);
+  EXPECT_LT(acc.fn_rate(), 0.05);
+  EXPECT_LT(acc.fp_rate(), 0.15);
+}
+
+TEST_F(IntegrationTest, RegulationRateBelowDramMargin) {
+  core::InstaMeasure engine{default_engine()};
+  for (const auto& rec : trace_->packets) engine.process(rec);
+  // The whole point: ~1-2% of packets reach the WSAF.
+  EXPECT_LT(engine.regulator().regulation_rate(), 0.05);
+  EXPECT_GT(engine.regulator().regulation_rate(), 0.0005);
+}
+
+TEST_F(IntegrationTest, PcapRoundTripMeasuresIdentically) {
+  // Subset for I/O speed: first 200k packets.
+  trace::Trace subset;
+  subset.packets.assign(
+      trace_->packets.begin(),
+      trace_->packets.begin() +
+          std::min<std::size_t>(200'000, trace_->packets.size()));
+
+  const auto path = (std::filesystem::temp_directory_path() /
+                     ("im_integration_" + std::to_string(::getpid()) + ".pcap"))
+                        .string();
+  netio::save_pcap(path, subset.packets);
+  const auto loaded = netio::load_pcap(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), subset.packets.size());
+
+  core::InstaMeasure direct{default_engine()};
+  core::InstaMeasure via_pcap{default_engine()};
+  for (const auto& rec : subset.packets) direct.process(rec);
+  for (const auto& rec : loaded) via_pcap.process(rec);
+
+  // Same packets, same seeds -> identical estimates.
+  const analysis::GroundTruth sub_truth{subset};
+  for (const auto& [key, t] : sub_truth.flows()) {
+    if (t.packets < 1000) continue;
+    EXPECT_DOUBLE_EQ(direct.query(key).packets, via_pcap.query(key).packets);
+  }
+}
+
+TEST_F(IntegrationTest, WsafOccupancyBoundedByMice) {
+  // The regulator must keep the vast majority of the ~100k mice flows out
+  // of the WSAF table.
+  core::InstaMeasure engine{default_engine()};
+  for (const auto& rec : trace_->packets) engine.process(rec);
+  EXPECT_LT(engine.wsaf().occupancy(), truth_->flow_count() / 5);
+}
+
+}  // namespace
+}  // namespace instameasure

@@ -1,0 +1,160 @@
+#include "netio/ipfix.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wsaf_export.h"
+
+namespace instameasure::netio {
+namespace {
+
+IpfixFlowRecord sample_record(std::uint32_t n) {
+  IpfixFlowRecord rec;
+  rec.key = FlowKey{0xC0A80000 + n, 0x08080808, static_cast<std::uint16_t>(n),
+                    443, 6};
+  rec.packets = 1000ULL * n + 1;
+  rec.octets = 1'000'000ULL * n + 7;
+  rec.end_ms = 1'600'000'000'000ULL + n;
+  return rec;
+}
+
+TEST(Ipfix, RoundTripSingleRecord) {
+  const std::vector<IpfixFlowRecord> records{sample_record(1)};
+  const auto message = ipfix_encode(records, 1'700'000'000, 42);
+  const auto decoded = ipfix_decode(message);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0], records[0]);
+}
+
+TEST(Ipfix, RoundTripManyRecords) {
+  std::vector<IpfixFlowRecord> records;
+  for (std::uint32_t n = 0; n < 500; ++n) records.push_back(sample_record(n));
+  const auto message = ipfix_encode(records, 1, 2);
+  const auto decoded = ipfix_decode(message);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 500u);
+  for (std::uint32_t n = 0; n < 500; ++n) {
+    EXPECT_EQ((*decoded)[n], records[n]) << "record " << n;
+  }
+}
+
+TEST(Ipfix, MessageHeaderFields) {
+  const std::vector<IpfixFlowRecord> records{sample_record(3)};
+  const auto msg = ipfix_encode(records, 0xAABBCCDD, 0x11223344, 0x55667788);
+  ASSERT_GE(msg.size(), 16u);
+  auto b = [&](std::size_t i) { return std::to_integer<std::uint8_t>(msg[i]); };
+  EXPECT_EQ((b(0) << 8) | b(1), kIpfixVersion);
+  EXPECT_EQ((b(2) << 8) | b(3), msg.size()) << "message length field";
+  EXPECT_EQ(b(4), 0xAA);  // export time, network order
+  EXPECT_EQ(b(8), 0x11);  // sequence
+  EXPECT_EQ(b(12), 0x55); // domain
+}
+
+TEST(Ipfix, EmptyRecordSetRoundTrips) {
+  const auto message = ipfix_encode({}, 1, 1);
+  const auto decoded = ipfix_decode(message);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Ipfix, TooManyRecordsThrows) {
+  std::vector<IpfixFlowRecord> records(kIpfixMaxRecordsPerMessage + 1);
+  EXPECT_THROW((void)ipfix_encode(records, 1, 1), std::length_error);
+}
+
+TEST(Ipfix, ChunkedEncodeSplitsAndRoundTrips) {
+  std::vector<IpfixFlowRecord> records;
+  for (std::uint32_t n = 0; n < 4'000; ++n) records.push_back(sample_record(n));
+  const auto messages = ipfix_encode_chunked(records, 9, 100);
+  EXPECT_GE(messages.size(), 3u);
+  std::vector<IpfixFlowRecord> all;
+  for (const auto& msg : messages) {
+    const auto part = ipfix_decode(msg);
+    ASSERT_TRUE(part.has_value());
+    all.insert(all.end(), part->begin(), part->end());
+  }
+  ASSERT_EQ(all.size(), records.size());
+  EXPECT_EQ(all.front(), records.front());
+  EXPECT_EQ(all.back(), records.back());
+}
+
+TEST(Ipfix, DecodeRejectsGarbage) {
+  std::vector<std::byte> junk(64, std::byte{0x5A});
+  EXPECT_FALSE(ipfix_decode(junk).has_value());
+  EXPECT_FALSE(ipfix_decode({}).has_value());
+}
+
+TEST(Ipfix, DecodeRejectsTruncatedMessage) {
+  const std::vector<IpfixFlowRecord> records{sample_record(1)};
+  auto message = ipfix_encode(records, 1, 1);
+  message.resize(message.size() - 10);
+  EXPECT_FALSE(ipfix_decode(message).has_value())
+      << "declared length exceeds buffer";
+}
+
+TEST(Ipfix, DataBeforeTemplateRejected) {
+  // Build a message whose data set precedes any template set.
+  const std::vector<IpfixFlowRecord> records{sample_record(1)};
+  auto msg = ipfix_encode(records, 1, 1);
+  // The encoder emits template (set len 4+4+32=40... computed) first. Swap
+  // the two sets: locate them via their ids.
+  // Template set starts at 16; read its length.
+  auto get16 = [&](std::size_t off) {
+    return (std::to_integer<std::uint16_t>(msg[off]) << 8) |
+           std::to_integer<std::uint16_t>(msg[off + 1]);
+  };
+  const std::size_t tmpl_len = get16(18);
+  std::vector<std::byte> reordered(msg.begin(), msg.begin() + 16);
+  reordered.insert(reordered.end(), msg.begin() + 16 + tmpl_len, msg.end());
+  reordered.insert(reordered.end(), msg.begin() + 16,
+                   msg.begin() + 16 + tmpl_len);
+  EXPECT_FALSE(ipfix_decode(reordered).has_value());
+}
+
+TEST(IpfixWsafExport, ExportsLiveEntries) {
+  core::WsafConfig config;
+  config.log2_entries = 10;
+  core::WsafTable table{config};
+  for (std::uint32_t n = 0; n < 20; ++n) {
+    const FlowKey key{n + 1, ~n, 80, 443, 17};
+    table.accumulate(key, key.hash(), 100.4, 50'000.6, n * 1'000'000);
+  }
+  const auto messages = core::export_wsaf_ipfix(table, 1'700'000'000, 1);
+  ASSERT_EQ(messages.size(), 1u);
+  const auto decoded = ipfix_decode(messages[0]);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), 20u);
+  // Counters round to nearest; timestamps convert ns -> ms.
+  bool found = false;
+  for (const auto& rec : *decoded) {
+    if (rec.key.src_ip == 5 + 1 && rec.key.proto == 17) {
+      EXPECT_EQ(rec.packets, 100u);
+      EXPECT_EQ(rec.octets, 50'001u);
+      EXPECT_EQ(rec.end_ms, 5u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IpfixWsafExport, LargeTableChunks) {
+  core::WsafConfig config;
+  config.log2_entries = 13;
+  core::WsafTable table{config};
+  for (std::uint32_t n = 0; n < 5'000; ++n) {
+    const FlowKey key{n + 1, ~n, 80, 443, 6};
+    table.accumulate(key, key.hash(), 1.0, 100.0, n);
+  }
+  const auto messages = core::export_wsaf_ipfix(table, 1, 1);
+  EXPECT_GE(messages.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& msg : messages) {
+    const auto part = ipfix_decode(msg);
+    ASSERT_TRUE(part.has_value());
+    total += part->size();
+  }
+  EXPECT_EQ(total, table.occupancy());
+}
+
+}  // namespace
+}  // namespace instameasure::netio

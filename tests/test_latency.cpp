@@ -1,0 +1,126 @@
+#include "analysis/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace instameasure::analysis {
+namespace {
+
+LatencyConfig base_config() {
+  LatencyConfig config;
+  config.packet_threshold = 500;
+  config.epoch_ms = 10.0;
+  config.network_delay_ms = 20.0;
+  config.engine.regulator.l1_memory_bytes = 32 * 1024;
+  config.engine.wsaf.log2_entries = 14;
+  return config;
+}
+
+/// Background mice + one constant-rate attacker.
+std::pair<trace::Trace, netio::FlowKey> attack_trace(double rate_pps) {
+  trace::TraceConfig background;
+  background.duration_s = 2.0;
+  background.mice = {5000, 1.0, 20};
+  background.seed = 31;
+  auto trace = trace::generate(background);
+  trace::AttackSpec spec;
+  spec.rate_pps = rate_pps;
+  spec.start_s = 0.2;
+  spec.duration_s = 1.5;
+  const auto key = inject_attack(trace, spec);
+  return {std::move(trace), key};
+}
+
+TEST(Latency, AttackerIsDetectedByBothDetectors) {
+  const auto [trace, key] = attack_trace(50'000);
+  const auto rows = measure_detection_latency(trace, {key}, base_config());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].saturation_ns.has_value());
+  EXPECT_TRUE(rows[0].delegation_ns.has_value());
+}
+
+TEST(Latency, SaturationDetectionAfterTruthCrossing) {
+  const auto [trace, key] = attack_trace(50'000);
+  const auto rows = measure_detection_latency(trace, {key}, base_config());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(rows[0].saturation_ns.has_value());
+  // Estimation noise can fire marginally early (units are expectations);
+  // it must never fire wildly before the crossing, and normally after.
+  EXPECT_GT(static_cast<double>(*rows[0].saturation_ns),
+            static_cast<double>(rows[0].truth_ns) * 0.8);
+}
+
+TEST(Latency, SaturationBeatsDelegation) {
+  // The headline claim: saturation-based decoding detects much faster than
+  // the ship-to-collector design.
+  const auto [trace, key] = attack_trace(100'000);
+  const auto rows = measure_detection_latency(trace, {key}, base_config());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(rows[0].saturation_delay_ms().has_value());
+  ASSERT_TRUE(rows[0].delegation_delay_ms().has_value());
+  EXPECT_LT(*rows[0].saturation_delay_ms(), *rows[0].delegation_delay_ms());
+  // Delegation pays at least the network delay.
+  EXPECT_GE(*rows[0].delegation_delay_ms(), 20.0 * 0.99);
+}
+
+TEST(Latency, FasterAttackersDetectedSooner) {
+  // Fig 9b: detection delay falls as the attack rate rises.
+  const auto [slow_trace, slow_key] = attack_trace(10'000);
+  const auto [fast_trace, fast_key] = attack_trace(150'000);
+  const auto slow =
+      measure_detection_latency(slow_trace, {slow_key}, base_config());
+  const auto fast =
+      measure_detection_latency(fast_trace, {fast_key}, base_config());
+  ASSERT_EQ(slow.size(), 1u);
+  ASSERT_EQ(fast.size(), 1u);
+  ASSERT_TRUE(slow[0].saturation_delay_ms().has_value());
+  ASSERT_TRUE(fast[0].saturation_delay_ms().has_value());
+  EXPECT_LT(*fast[0].saturation_delay_ms(), *slow[0].saturation_delay_ms());
+}
+
+TEST(Latency, SaturationDelayWithinPaperBound) {
+  // Paper: <= ~10ms at 10 kpps, ~1ms at 130 kpps. Allow slack for noise.
+  const auto [trace, key] = attack_trace(130'000);
+  const auto rows = measure_detection_latency(trace, {key}, base_config());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(rows[0].saturation_delay_ms().has_value());
+  EXPECT_LT(*rows[0].saturation_delay_ms(), 5.0);
+}
+
+TEST(Latency, FlowBelowThresholdYieldsNoRow) {
+  trace::TraceConfig background;
+  background.duration_s = 1.0;
+  background.mice = {100, 1.0, 5};
+  background.seed = 32;
+  auto trace = trace::generate(background);
+  // Watch a mice flow that never reaches 500 packets.
+  const auto key = trace.packets.front().key;
+  const auto rows = measure_detection_latency(trace, {key}, base_config());
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(Latency, MultipleAttackersAllReported) {
+  trace::TraceConfig background;
+  background.duration_s = 2.0;
+  background.mice = {2000, 1.0, 10};
+  background.seed = 33;
+  auto trace = trace::generate(background);
+  std::vector<netio::FlowKey> keys;
+  for (int i = 0; i < 3; ++i) {
+    trace::AttackSpec spec;
+    spec.rate_pps = 30'000 + i * 20'000;
+    spec.start_s = 0.1 + 0.2 * i;
+    spec.duration_s = 1.0;
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    keys.push_back(inject_attack(trace, spec));
+  }
+  const auto rows = measure_detection_latency(trace, keys, base_config());
+  EXPECT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.saturation_ns.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace instameasure::analysis

@@ -1,0 +1,64 @@
+#include "memmodel/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace instameasure::memmodel {
+namespace {
+
+TEST(MemoryTiming, DefaultRatiosMatchPaperAssumptions) {
+  const MemoryTiming timing;
+  // The paper assumes SRAM is 10-20x faster than DRAM.
+  EXPECT_GE(timing.sram_speedup(), 10.0);
+  EXPECT_LE(timing.sram_speedup(), 20.0);
+  EXPECT_LT(timing.access_ns(MemoryKind::kTcam),
+            timing.access_ns(MemoryKind::kSram));
+  EXPECT_LT(timing.access_ns(MemoryKind::kSram),
+            timing.access_ns(MemoryKind::kDram));
+}
+
+TEST(WsafBudget, MaxIpsScalesInverselyWithLatency) {
+  WsafBudget budget;
+  budget.timing = MemoryTiming{2.0, 4.0, 60.0};
+  budget.accesses_per_insertion = 1.0;
+  EXPECT_DOUBLE_EQ(budget.max_ips(MemoryKind::kDram), 1e9 / 60.0);
+  EXPECT_DOUBLE_EQ(budget.max_ips(MemoryKind::kSram), 1e9 / 4.0);
+}
+
+TEST(WsafBudget, RegulationMarginAtPaperRates) {
+  // At the CAIDA trace's ~1 Mpps, an in-DRAM WSAF (60 ns, 2 accesses per
+  // insertion) sustains ~8.3 Mips: regulation up to ~833% — trivially OK.
+  // At 100 Gbps line rate (~150 Mpps of 64-byte frames), the same table
+  // allows only ~5.5% — i.e. RCC's 12-19% fails, FlowRegulator's ~1% fits.
+  WsafBudget budget;
+  const double line_rate_pps = 150e6;
+  const double dram_margin =
+      budget.max_regulation_rate(MemoryKind::kDram, line_rate_pps);
+  EXPECT_GT(dram_margin, 0.02);
+  EXPECT_LT(dram_margin, 0.10);
+  EXPECT_FALSE(budget.feasible(MemoryKind::kDram, line_rate_pps, 0.12))
+      << "RCC-style regulation must not fit DRAM at line rate";
+  EXPECT_TRUE(budget.feasible(MemoryKind::kDram, line_rate_pps, 0.0102))
+      << "FlowRegulator's 1.02% must fit DRAM at line rate";
+}
+
+TEST(WsafBudget, SramAlwaysBeatsDramMargin) {
+  WsafBudget budget;
+  for (const double pps : {1e6, 10e6, 150e6}) {
+    EXPECT_GT(budget.max_regulation_rate(MemoryKind::kSram, pps),
+              budget.max_regulation_rate(MemoryKind::kDram, pps));
+  }
+}
+
+TEST(WsafBudget, ZeroPpsIsDegenerate) {
+  WsafBudget budget;
+  EXPECT_DOUBLE_EQ(budget.max_regulation_rate(MemoryKind::kDram, 0.0), 0.0);
+}
+
+TEST(MemoryKind, Names) {
+  EXPECT_STREQ(to_string(MemoryKind::kTcam), "TCAM");
+  EXPECT_STREQ(to_string(MemoryKind::kSram), "SRAM");
+  EXPECT_STREQ(to_string(MemoryKind::kDram), "DRAM");
+}
+
+}  // namespace
+}  // namespace instameasure::memmodel

@@ -1,0 +1,129 @@
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace instameasure::analysis {
+namespace {
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, ~n, 5, 6, 6};
+}
+
+/// Ground truth with flows of exactly the given packet sizes.
+GroundTruth make_truth(const std::vector<std::uint64_t>& sizes) {
+  trace::Trace trace;
+  for (std::uint32_t f = 0; f < sizes.size(); ++f) {
+    for (std::uint64_t p = 0; p < sizes[f]; ++p) {
+      trace.packets.push_back({p, key_n(f), 100});
+    }
+  }
+  return GroundTruth{trace};
+}
+
+TEST(BandedErrors, PerfectEstimatorHasZeroError) {
+  const auto truth = make_truth({50, 500, 5000});
+  const auto bands = banded_errors(
+      truth,
+      [&](const netio::FlowKey& key) {
+        return static_cast<double>(truth.find(key)->packets);
+      },
+      {10, 100, 1000}, false);
+  ASSERT_EQ(bands.size(), 3u);
+  for (const auto& band : bands) {
+    EXPECT_EQ(band.flows, 1u);
+    EXPECT_DOUBLE_EQ(band.mean_abs_rel_error, 0.0);
+    EXPECT_DOUBLE_EQ(band.mean_rel_bias, 0.0);
+  }
+}
+
+TEST(BandedErrors, FlowsLandInHighestReachedBand) {
+  const auto truth = make_truth({5, 50, 500, 5000});
+  const auto bands = banded_errors(
+      truth, [](const netio::FlowKey&) { return 0.0; }, {10, 100, 1000},
+      false);
+  // The 5-packet flow is below every band; the rest land one per band.
+  EXPECT_EQ(bands[0].min_size, 10u);
+  EXPECT_EQ(bands[0].flows, 1u);
+  EXPECT_EQ(bands[1].flows, 1u);
+  EXPECT_EQ(bands[2].flows, 1u);
+}
+
+TEST(BandedErrors, KnownBias) {
+  const auto truth = make_truth({100, 200});
+  const auto bands = banded_errors(
+      truth,
+      [&](const netio::FlowKey& key) {
+        return static_cast<double>(truth.find(key)->packets) * 1.10;
+      },
+      {10}, false);
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands[0].flows, 2u);
+  EXPECT_NEAR(bands[0].mean_abs_rel_error, 0.10, 1e-9);
+  EXPECT_NEAR(bands[0].mean_rel_bias, 0.10, 1e-9);
+  EXPECT_NEAR(bands[0].std_error, 0.0, 1e-9) << "constant bias, no spread";
+}
+
+TEST(BandedErrors, ByBytesUsesByteSizes) {
+  // One flow with 50 packets x 100B = 5000B.
+  const auto truth = make_truth({50});
+  const auto bands = banded_errors(
+      truth, [](const netio::FlowKey&) { return 5000.0; }, {1000}, true);
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands[0].flows, 1u);
+  EXPECT_DOUBLE_EQ(bands[0].mean_abs_rel_error, 0.0);
+}
+
+TEST(TopKRecall, PerfectAndPartial) {
+  std::vector<netio::FlowKey> truth_top{key_n(1), key_n(2), key_n(3),
+                                        key_n(4)};
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, truth_top), 1.0);
+  std::vector<netio::FlowKey> half{key_n(1), key_n(2), key_n(9), key_n(10)};
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, half), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, {}), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_recall({}, half), 1.0) << "vacuous truth";
+}
+
+TEST(HhAccuracy, PerfectDetection) {
+  const auto truth = make_truth({10, 2000, 3000});
+  const auto acc = heavy_hitter_accuracy(truth, {key_n(1), key_n(2)}, 1000,
+                                         false);
+  EXPECT_EQ(acc.true_positives, 2u);
+  EXPECT_EQ(acc.false_positives, 0u);
+  EXPECT_EQ(acc.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(acc.fp_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.fn_rate(), 0.0);
+}
+
+TEST(HhAccuracy, FalsePositiveCounted) {
+  const auto truth = make_truth({10, 2000});
+  const auto acc =
+      heavy_hitter_accuracy(truth, {key_n(0), key_n(1)}, 1000, false);
+  EXPECT_EQ(acc.true_positives, 1u);
+  EXPECT_EQ(acc.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(acc.fp_rate(), 0.5);
+}
+
+TEST(HhAccuracy, FalseNegativeCounted) {
+  const auto truth = make_truth({2000, 3000});
+  const auto acc = heavy_hitter_accuracy(truth, {key_n(0)}, 1000, false);
+  EXPECT_EQ(acc.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(acc.fn_rate(), 0.5);
+}
+
+TEST(HhAccuracy, DetectionOfUnknownKeyIsFalsePositive) {
+  const auto truth = make_truth({2000});
+  const auto acc = heavy_hitter_accuracy(truth, {key_n(0), key_n(42)}, 1000,
+                                         false);
+  EXPECT_EQ(acc.true_positives, 1u);
+  EXPECT_EQ(acc.false_positives, 1u);
+}
+
+TEST(HhAccuracy, EmptyEverything) {
+  const auto truth = make_truth({});
+  const auto acc = heavy_hitter_accuracy(truth, {}, 1000, false);
+  EXPECT_DOUBLE_EQ(acc.fp_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.fn_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace instameasure::analysis

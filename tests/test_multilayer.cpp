@@ -1,0 +1,111 @@
+#include "core/multilayer_regulator.h"
+
+#include <gtest/gtest.h>
+
+namespace instameasure::core {
+namespace {
+
+MultiLayerConfig config_with_layers(unsigned layers) {
+  MultiLayerConfig config;
+  config.layer_memory_bytes = 32 * 1024;
+  config.vv_bits = 8;
+  config.layers = layers;
+  return config;
+}
+
+TEST(MultiLayerConfig, BankArithmetic) {
+  EXPECT_EQ(config_with_layers(1).total_banks(), 1u);
+  EXPECT_EQ(config_with_layers(2).total_banks(), 4u) << "1 + 3 (paper's FR)";
+  EXPECT_EQ(config_with_layers(3).total_banks(), 13u) << "1 + 3 + 9";
+  EXPECT_EQ(config_with_layers(2).total_memory_bytes(), 128u * 1024u);
+  EXPECT_EQ(config_with_layers(3).total_memory_bytes(), 13u * 32u * 1024u);
+}
+
+TEST(MultiLayer, TwoLayersMatchFlowRegulatorStatistically) {
+  // The generalization at layers = 2 must behave like the dedicated
+  // FlowRegulator: same regulation magnitude, same estimate quality.
+  MultiLayerRegulator ml{config_with_layers(2)};
+  FlowRegulatorConfig fr_config;
+  fr_config.l1_memory_bytes = 32 * 1024;
+  FlowRegulator fr{fr_config};
+
+  constexpr std::uint64_t kPackets = 1'000'000;
+  double ml_est = 0, fr_est = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (const auto e = ml.offer(0xAA, 100)) ml_est += e->est_packets;
+    if (const auto e = fr.offer(0xAA, 100)) fr_est += e->est_packets;
+  }
+  ml_est += ml.residual_packets(0xAA);
+  fr_est += fr.residual_packets(0xAA);
+  EXPECT_NEAR(ml_est / static_cast<double>(kPackets), 1.0, 0.05);
+  EXPECT_NEAR(ml.regulation_rate() / fr.regulation_rate(), 1.0, 0.35);
+}
+
+TEST(MultiLayer, RegulationShrinksGeometricallyWithLayers) {
+  constexpr std::uint64_t kPackets = 3'000'000;
+  std::vector<double> rates;
+  for (unsigned layers = 1; layers <= 3; ++layers) {
+    MultiLayerRegulator reg{config_with_layers(layers)};
+    for (std::uint64_t i = 0; i < kPackets; ++i) (void)reg.offer(0xBB, 100);
+    rates.push_back(reg.regulation_rate());
+  }
+  EXPECT_GT(rates[0] / rates[1], 4.0) << "layer 2 buys ~9x";
+  EXPECT_GT(rates[1] / rates[2], 4.0) << "layer 3 buys another ~9x";
+}
+
+TEST(MultiLayer, RetentionGrowsGeometricallyWithLayers) {
+  constexpr std::uint64_t kPackets = 3'000'000;
+  double prev = 0;
+  for (unsigned layers = 1; layers <= 3; ++layers) {
+    MultiLayerRegulator reg{config_with_layers(layers)};
+    for (std::uint64_t i = 0; i < kPackets; ++i) (void)reg.offer(0xCC, 100);
+    const double retention = reg.mean_packets_per_event();
+    EXPECT_GT(retention, prev * 3.0);
+    prev = retention;
+  }
+}
+
+TEST(MultiLayer, ThreeLayerSingleFlowStillUnbiased) {
+  MultiLayerRegulator reg{config_with_layers(3)};
+  constexpr std::uint64_t kPackets = 5'000'000;
+  double est = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (const auto e = reg.offer(0xDD, 100)) est += e->est_packets;
+  }
+  est += reg.residual_packets(0xDD);
+  // Deeper structures are noisier; 10% at three layers is expected.
+  EXPECT_NEAR(est / static_cast<double>(kPackets), 1.0, 0.10);
+}
+
+TEST(MultiLayer, ResidualSeesUnemittedPackets) {
+  MultiLayerRegulator reg{config_with_layers(3)};
+  for (int i = 0; i < 50; ++i) (void)reg.offer(0xEE, 100);
+  EXPECT_EQ(reg.emissions(), 0u) << "50 packets cannot cross three layers";
+  const double residual = reg.residual_packets(0xEE);
+  EXPECT_GT(residual, 20.0);
+  EXPECT_LT(residual, 120.0);
+}
+
+TEST(MultiLayer, ByteEstimateScalesWithLength) {
+  MultiLayerRegulator reg{config_with_layers(2)};
+  double est_pkts = 0, est_bytes = 0;
+  for (int i = 0; i < 500'000; ++i) {
+    if (const auto e = reg.offer(0xFF, 1234)) {
+      est_pkts += e->est_packets;
+      est_bytes += e->est_bytes;
+    }
+  }
+  EXPECT_NEAR(est_bytes / est_pkts, 1234.0, 1e-6);
+}
+
+TEST(MultiLayer, ResetClears) {
+  MultiLayerRegulator reg{config_with_layers(2)};
+  for (int i = 0; i < 10'000; ++i) (void)reg.offer(0x11, 100);
+  reg.reset();
+  EXPECT_EQ(reg.packets(), 0u);
+  EXPECT_EQ(reg.emissions(), 0u);
+  EXPECT_DOUBLE_EQ(reg.residual_packets(0x11), 0.0);
+}
+
+}  // namespace
+}  // namespace instameasure::core

@@ -1,0 +1,166 @@
+#include "netio/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "netio/codec.h"
+
+namespace instameasure::netio {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("im_pcap_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+PacketRecord make_record(std::uint64_t ts_ns, std::uint16_t sport,
+                         std::uint16_t len = 500) {
+  PacketRecord rec;
+  rec.timestamp_ns = ts_ns;
+  rec.key = FlowKey{0x0A000001, 0x0A000002, sport, 80,
+                    static_cast<std::uint8_t>(IpProto::kTcp)};
+  rec.wire_len = len;
+  return rec;
+}
+
+TEST_F(PcapTest, RoundTripPreservesRecords) {
+  PacketVector packets;
+  for (int i = 0; i < 100; ++i) {
+    packets.push_back(make_record(1'000'000ULL * i + 123,
+                                  static_cast<std::uint16_t>(1000 + i)));
+  }
+  save_pcap(path_, packets);
+  const auto loaded = load_pcap(path_);
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp_ns, packets[i].timestamp_ns);
+    EXPECT_EQ(loaded[i].key, packets[i].key);
+    EXPECT_EQ(loaded[i].wire_len, packets[i].wire_len);
+  }
+}
+
+TEST_F(PcapTest, NanosecondTimestampPrecision) {
+  PacketVector packets{make_record(1'234'567'891ULL, 1000)};
+  save_pcap(path_, packets);
+  const auto loaded = load_pcap(path_);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].timestamp_ns, 1'234'567'891ULL);
+}
+
+TEST_F(PcapTest, WriterCountsPackets) {
+  PcapWriter writer{path_};
+  const auto frame = encode_frame(
+      FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kUdp)}, 10);
+  writer.write(0, frame, static_cast<std::uint32_t>(frame.size()));
+  writer.write(1, frame, static_cast<std::uint32_t>(frame.size()));
+  EXPECT_EQ(writer.packets_written(), 2u);
+}
+
+TEST_F(PcapTest, ReaderSkipsUnparsableFrames) {
+  {
+    PcapWriter writer{path_};
+    std::vector<std::byte> garbage(64, std::byte{0xAA});
+    writer.write(0, garbage, 64);
+    const auto frame = encode_frame(
+        FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)}, 0);
+    writer.write(1, frame, static_cast<std::uint32_t>(frame.size()));
+  }
+  PcapReader reader{path_};
+  const auto rec = reader.next_record();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->key.src_ip, 1u);
+  EXPECT_EQ(reader.skipped(), 1u);
+  EXPECT_FALSE(reader.next_record().has_value());
+}
+
+TEST_F(PcapTest, MissingFileThrows) {
+  EXPECT_THROW(PcapReader{"/nonexistent/file.pcap"}, std::runtime_error);
+}
+
+TEST_F(PcapTest, BadMagicThrows) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    const std::uint32_t bogus = 0x12345678;
+    out.write(reinterpret_cast<const char*>(&bogus), 4);
+    const char zeros[20] = {};
+    out.write(zeros, sizeof zeros);
+  }
+  EXPECT_THROW(PcapReader{path_}, std::runtime_error);
+}
+
+TEST_F(PcapTest, TruncatedPacketBodyThrows) {
+  {
+    PcapWriter writer{path_};
+    const auto frame = encode_frame(
+        FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)}, 0);
+    writer.write(0, frame, static_cast<std::uint32_t>(frame.size()));
+  }
+  // Chop the last 10 bytes of the packet body.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 10);
+  PcapReader reader{path_};
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, MicrosecondMagicSupported) {
+  // Hand-write a classic usec-resolution file.
+  {
+    std::ofstream out{path_, std::ios::binary};
+    auto w32 = [&](std::uint32_t v) {
+      out.write(reinterpret_cast<const char*>(&v), 4);
+    };
+    auto w16 = [&](std::uint16_t v) {
+      out.write(reinterpret_cast<const char*>(&v), 2);
+    };
+    w32(kPcapMagicUsec);
+    w16(2);
+    w16(4);
+    w32(0);
+    w32(0);
+    w32(65535);
+    w32(kLinkTypeEthernet);
+    const auto frame = encode_frame(
+        FlowKey{9, 8, 7, 6, static_cast<std::uint8_t>(IpProto::kUdp)}, 4);
+    w32(3);        // ts_sec
+    w32(500'000);  // ts_usec
+    w32(static_cast<std::uint32_t>(frame.size()));
+    w32(static_cast<std::uint32_t>(frame.size()));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+  PcapReader reader{path_};
+  const auto rec = reader.next_record();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->timestamp_ns, 3'500'000'000ULL);
+  EXPECT_EQ(rec->key.src_ip, 9u);
+}
+
+TEST_F(PcapTest, SnaplenTruncatesCaptureButKeepsOrigLen) {
+  {
+    PcapWriter writer{path_, /*snaplen=*/64};
+    const auto frame = encode_frame(
+        FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)}, 1000);
+    writer.write(0, frame, static_cast<std::uint32_t>(frame.size()));
+  }
+  PcapReader reader{path_};
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->data.size(), 64u);
+  EXPECT_GT(pkt->orig_len, 1000u);
+}
+
+}  // namespace
+}  // namespace instameasure::netio

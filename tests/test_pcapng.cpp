@@ -1,0 +1,192 @@
+#include "netio/pcapng.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "netio/codec.h"
+
+namespace instameasure::netio {
+namespace {
+
+class PcapngTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("im_pcapng_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".pcapng"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+PacketRecord make_record(std::uint64_t ts_ns, std::uint16_t sport) {
+  PacketRecord rec;
+  rec.timestamp_ns = ts_ns;
+  rec.key = FlowKey{0x0A00000A, 0x0A00000B, sport, 443,
+                    static_cast<std::uint8_t>(IpProto::kUdp)};
+  rec.wire_len = 300;
+  return rec;
+}
+
+TEST_F(PcapngTest, RoundTripPreservesRecords) {
+  {
+    PcapngWriter writer{path_};
+    for (int i = 0; i < 50; ++i) {
+      writer.write_record(
+          make_record(1'000'000ULL * i + 7, static_cast<std::uint16_t>(i + 1)));
+    }
+    EXPECT_EQ(writer.packets_written(), 50u);
+  }
+  PcapngReader reader{path_};
+  for (int i = 0; i < 50; ++i) {
+    const auto rec = reader.next_record();
+    ASSERT_TRUE(rec.has_value()) << "packet " << i;
+    EXPECT_EQ(rec->timestamp_ns, 1'000'000ULL * i + 7);
+    EXPECT_EQ(rec->key.src_port, i + 1);
+    EXPECT_EQ(rec->wire_len, 300);
+  }
+  EXPECT_FALSE(reader.next_record().has_value());
+}
+
+TEST_F(PcapngTest, NanosecondTimestampSurvives) {
+  {
+    PcapngWriter writer{path_};
+    writer.write_record(make_record(123'456'789'123ULL, 5));
+  }
+  PcapngReader reader{path_};
+  const auto rec = reader.next_record();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->timestamp_ns, 123'456'789'123ULL);
+}
+
+TEST_F(PcapngTest, FormatSniffingDistinguishesFormats) {
+  {
+    PcapngWriter writer{path_};
+    writer.write_record(make_record(1, 1));
+  }
+  EXPECT_TRUE(is_pcapng_file(path_));
+
+  PacketVector packets{make_record(1, 1)};
+  save_pcap(path_, packets);
+  EXPECT_FALSE(is_pcapng_file(path_));
+}
+
+TEST_F(PcapngTest, LoadCaptureHandlesBothFormats) {
+  PacketVector packets;
+  for (int i = 0; i < 10; ++i) {
+    packets.push_back(make_record(i * 1000, static_cast<std::uint16_t>(i + 1)));
+  }
+  // Classic pcap.
+  save_pcap(path_, packets);
+  EXPECT_EQ(load_capture(path_).size(), 10u);
+  // pcapng.
+  {
+    PcapngWriter writer{path_};
+    for (const auto& rec : packets) writer.write_record(rec);
+  }
+  const auto loaded = load_capture(path_);
+  ASSERT_EQ(loaded.size(), 10u);
+  EXPECT_EQ(loaded[3].key, packets[3].key);
+}
+
+TEST_F(PcapngTest, UnknownBlocksAreSkipped) {
+  {
+    PcapngWriter writer{path_};
+    writer.write_record(make_record(1, 9));
+  }
+  // Append a bogus-but-well-formed block type 0x99 then another packet via
+  // manual EPB construction is complex; instead prepend-append style:
+  // rewrite file with an unknown block between SHB/IDB and the EPB.
+  // Simpler: append an unknown block at the end; reader must hit EOF
+  // cleanly after skipping it.
+  {
+    std::ofstream out{path_, std::ios::binary | std::ios::app};
+    const std::uint32_t type = 0x99;
+    const std::uint32_t total = 16;  // header + 4 body + trailer
+    const std::uint32_t body = 0xDEADBEEF;
+    out.write(reinterpret_cast<const char*>(&type), 4);
+    out.write(reinterpret_cast<const char*>(&total), 4);
+    out.write(reinterpret_cast<const char*>(&body), 4);
+    out.write(reinterpret_cast<const char*>(&total), 4);
+  }
+  PcapngReader reader{path_};
+  EXPECT_TRUE(reader.next_record().has_value());
+  EXPECT_FALSE(reader.next_record().has_value()) << "unknown block skipped";
+}
+
+TEST_F(PcapngTest, MicrosecondDefaultResolution) {
+  // Hand-write a pcapng whose IDB has no if_tsresol option: timestamps are
+  // then microseconds.
+  {
+    std::ofstream out{path_, std::ios::binary};
+    auto w32 = [&](std::uint32_t v) {
+      out.write(reinterpret_cast<const char*>(&v), 4);
+    };
+    auto w16 = [&](std::uint16_t v) {
+      out.write(reinterpret_cast<const char*>(&v), 2);
+    };
+    // SHB
+    w32(kPcapngShb);
+    w32(28);
+    w32(kByteOrderMagic);
+    w16(1);
+    w16(0);
+    w32(0xffffffff);
+    w32(0xffffffff);
+    w32(28);
+    // IDB without options
+    w32(kPcapngIdb);
+    w32(20);
+    w16(1);  // ethernet
+    w16(0);
+    w32(65535);
+    w32(20);
+    // EPB: ts = 1,500,000 us = 1.5s
+    const auto frame = encode_frame(
+        FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)}, 0);
+    const auto padded = (frame.size() + 3) & ~std::size_t{3};
+    const auto total = static_cast<std::uint32_t>(32 + padded);
+    w32(kPcapngEpb);
+    w32(total);
+    w32(0);          // iface
+    w32(0);          // ts high
+    w32(1'500'000);  // ts low
+    w32(static_cast<std::uint32_t>(frame.size()));
+    w32(static_cast<std::uint32_t>(frame.size()));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    for (std::size_t i = frame.size(); i < padded; ++i) out.put(0);
+    w32(total);
+  }
+  PcapngReader reader{path_};
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->timestamp_ns, 1'500'000'000ULL);
+}
+
+TEST_F(PcapngTest, NotPcapngThrows) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out << "garbage bytes here, definitely not a capture";
+  }
+  EXPECT_THROW(PcapngReader{path_}, std::runtime_error);
+}
+
+TEST_F(PcapngTest, TruncatedBlockThrows) {
+  {
+    PcapngWriter writer{path_};
+    writer.write_record(make_record(1, 1));
+  }
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) - 6);
+  PcapngReader reader{path_};
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace instameasure::netio

@@ -1,0 +1,167 @@
+#include "sketch/rcc.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace instameasure::sketch {
+namespace {
+
+RccConfig small_config() {
+  RccConfig config;
+  config.memory_bytes = 64 * 1024;
+  config.vv_bits = 8;
+  return config;
+}
+
+TEST(RccConfig, DerivedNoiseMax) {
+  RccConfig config;
+  config.vv_bits = 8;
+  EXPECT_EQ(config.effective_noise_max(), 3u);
+  config.vv_bits = 4;
+  EXPECT_EQ(config.effective_noise_max(), 1u);
+  config.vv_bits = 16;
+  EXPECT_EQ(config.effective_noise_max(), 6u);
+  config.noise_max = 2;  // explicit override wins
+  EXPECT_EQ(config.effective_noise_max(), 2u);
+}
+
+TEST(RccConfig, WordCountFromBytes) {
+  RccConfig config;
+  config.memory_bytes = 1024;
+  EXPECT_EQ(config.n_words(), 128u);
+  config.memory_bytes = 0;
+  EXPECT_EQ(config.n_words(), 1u) << "degenerate config still usable";
+}
+
+TEST(RccSketch, SingleFlowSaturatesEventually) {
+  RccSketch sketch{small_config()};
+  const auto layout = sketch.layout_of(0x1234567);
+  bool saturated = false;
+  for (int i = 0; i < 1000 && !saturated; ++i) {
+    saturated = sketch.encode(layout).has_value();
+  }
+  EXPECT_TRUE(saturated);
+  EXPECT_EQ(sketch.saturations(), 1u);
+}
+
+TEST(RccSketch, SaturationRecyclesVector) {
+  RccSketch sketch{small_config()};
+  const auto layout = sketch.layout_of(0x777);
+  for (int i = 0; i < 1000; ++i) {
+    if (sketch.encode(layout)) break;
+  }
+  EXPECT_EQ(sketch.zeros(layout), 8u) << "vector must be cleared on saturation";
+  EXPECT_DOUBLE_EQ(sketch.residual_estimate(layout), 0.0);
+}
+
+TEST(RccSketch, NoiseLevelsWithinBand) {
+  RccSketch sketch{small_config()};
+  util::SplitMix64 hashes{5};
+  for (int f = 0; f < 500; ++f) {
+    const auto layout = sketch.layout_of(hashes());
+    for (int i = 0; i < 200; ++i) {
+      if (const auto noise = sketch.encode(layout)) {
+        EXPECT_GE(*noise, 1u);
+        EXPECT_LE(*noise, 3u);
+        break;
+      }
+    }
+  }
+}
+
+TEST(RccSketch, SingleFlowCountIsUnbiased) {
+  // Long-running single flow: sum of per-saturation units + residual must
+  // track the true count within a few percent.
+  RccSketch sketch{small_config()};
+  const auto layout = sketch.layout_of(0xFEEDFACE);
+  constexpr std::uint64_t kPackets = 500'000;
+  double estimate = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (const auto noise = sketch.encode(layout)) {
+      estimate += sketch.unit(*noise);
+    }
+  }
+  estimate += sketch.residual_estimate(layout);
+  EXPECT_NEAR(estimate / static_cast<double>(kPackets), 1.0, 0.03);
+}
+
+TEST(RccSketch, RegulationRateMatchesRetentionCapacity) {
+  // Output rate should be roughly 1 / mean-packets-per-saturation for a
+  // saturating flow (the Fig 1 quantity).
+  RccSketch sketch{small_config()};
+  const auto layout = sketch.layout_of(0xABC);
+  for (int i = 0; i < 200'000; ++i) (void)sketch.encode(layout);
+  const double expected = 1.0 / sketch.mean_packets_per_saturation();
+  EXPECT_NEAR(sketch.regulation_rate(), expected, expected * 0.1);
+}
+
+TEST(RccSketch, MixedFlowsStatisticsAccumulate) {
+  RccSketch sketch{small_config()};
+  util::SplitMix64 hashes{11};
+  std::uint64_t total = 0;
+  for (int f = 0; f < 2000; ++f) {
+    const auto layout = sketch.layout_of(hashes());
+    for (int i = 0; i < 20; ++i) {
+      (void)sketch.encode(layout);
+      ++total;
+    }
+  }
+  EXPECT_EQ(sketch.packets_encoded(), total);
+  EXPECT_GT(sketch.saturations(), 0u);
+  EXPECT_GT(sketch.regulation_rate(), 0.0);
+  EXPECT_LT(sketch.regulation_rate(), 1.0);
+}
+
+TEST(RccSketch, ResetClearsEverything) {
+  RccSketch sketch{small_config()};
+  const auto layout = sketch.layout_of(42);
+  for (int i = 0; i < 100; ++i) (void)sketch.encode(layout);
+  sketch.reset();
+  EXPECT_EQ(sketch.packets_encoded(), 0u);
+  EXPECT_EQ(sketch.saturations(), 0u);
+  EXPECT_EQ(sketch.zeros(layout), 8u);
+}
+
+TEST(RccSketch, MiceFlowsRarelySaturate) {
+  // 1-2 packet flows should almost never reach the WSAF — the retention
+  // property FlowRegulator builds on.
+  RccSketch sketch{RccConfig{256 * 1024, 8, 1, 0, 99}};
+  util::SplitMix64 hashes{17};
+  std::uint64_t saturations = 0;
+  constexpr int kFlows = 50'000;
+  for (int f = 0; f < kFlows; ++f) {
+    const auto layout = sketch.layout_of(hashes());
+    if (sketch.encode(layout)) ++saturations;
+    if (sketch.encode(layout)) ++saturations;
+  }
+  EXPECT_LT(static_cast<double>(saturations) / kFlows, 0.02);
+}
+
+class RccVectorSizeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RccVectorSizeTest, LargerVectorsSaturateLessOften) {
+  const unsigned b = GetParam();
+  RccConfig config;
+  config.memory_bytes = 64 * 1024;
+  config.vv_bits = b;
+  RccSketch sketch{config};
+  const auto layout = sketch.layout_of(0x5555);
+  for (int i = 0; i < 100'000; ++i) (void)sketch.encode(layout);
+
+  RccConfig big = config;
+  big.vv_bits = std::min(64u, b * 2);
+  RccSketch big_sketch{big};
+  const auto big_layout = big_sketch.layout_of(0x5555);
+  for (int i = 0; i < 100'000; ++i) (void)big_sketch.encode(big_layout);
+
+  EXPECT_LT(big_sketch.regulation_rate(), sketch.regulation_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RccVectorSizeTest,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace instameasure::sketch

@@ -1,0 +1,172 @@
+// Robustness / fuzz-style property tests: parsers and decoders must never
+// crash, hang, or mis-behave on adversarial bytes — a measurement box sits
+// on a mirror port and sees whatever the network throws at it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "netio/codec.h"
+#include "netio/ipfix.h"
+#include "netio/pcap.h"
+#include "netio/pcapng.h"
+#include "util/rng.h"
+
+namespace instameasure {
+namespace {
+
+std::vector<std::byte> random_bytes(util::Xoshiro256ss& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng() & 0xff);
+  return out;
+}
+
+TEST(Robustness, FrameDecoderNeverCrashesOnRandomBytes) {
+  util::Xoshiro256ss rng{101};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.next_below(128));
+    const auto bytes = random_bytes(rng, len);
+    const auto parsed = netio::decode_frame(bytes);
+    if (parsed) {
+      // Anything accepted must at least be internally consistent.
+      EXPECT_EQ(parsed->frame_len, bytes.size());
+    }
+  }
+}
+
+TEST(Robustness, FrameDecoderNeverCrashesOnMutatedValidFrames) {
+  util::Xoshiro256ss rng{102};
+  const netio::FlowKey key{1, 2, 3, 4,
+                           static_cast<std::uint8_t>(netio::IpProto::kTcp)};
+  const auto base = netio::encode_frame(key, 64);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    auto frame = base;
+    // Flip 1-4 random bytes.
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      frame[rng.next_below(frame.size())] =
+          static_cast<std::byte>(rng() & 0xff);
+    }
+    (void)netio::decode_frame(frame);  // must not crash; result irrelevant
+  }
+}
+
+TEST(Robustness, IpfixDecoderNeverCrashesOnRandomBytes) {
+  util::Xoshiro256ss rng{103};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.next_below(256));
+    const auto bytes = random_bytes(rng, len);
+    (void)netio::ipfix_decode(bytes);
+  }
+}
+
+TEST(Robustness, IpfixDecoderSurvivesMutatedValidMessages) {
+  util::Xoshiro256ss rng{104};
+  std::vector<netio::IpfixFlowRecord> records(10);
+  for (std::uint32_t n = 0; n < 10; ++n) {
+    records[n].key = netio::FlowKey{n, n, 1, 2, 6};
+    records[n].packets = n;
+  }
+  const auto base = netio::ipfix_encode(records, 1, 1);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    auto msg = base;
+    msg[rng.next_below(msg.size())] = static_cast<std::byte>(rng() & 0xff);
+    const auto decoded = netio::ipfix_decode(msg);
+    if (decoded) {
+      EXPECT_LE(decoded->size(), 64u) << "length fields must stay bounded";
+    }
+  }
+}
+
+class FuzzFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("im_fuzz_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(FuzzFileTest, PcapReaderThrowsButNeverCrashesOnGarbageFiles) {
+  util::Xoshiro256ss rng{105};
+  for (int trial = 0; trial < 200; ++trial) {
+    {
+      std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+      const auto bytes = random_bytes(rng, 24 + rng.next_below(256));
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+      netio::PcapReader reader{path_};
+      while (reader.next()) {
+      }
+    } catch (const std::runtime_error&) {
+      // expected for malformed files
+    }
+  }
+}
+
+TEST_F(FuzzFileTest, PcapReaderSurvivesTruncationAtEveryOffset) {
+  // Write one valid file, then re-read it truncated at many lengths: every
+  // outcome must be either clean EOF or a runtime_error.
+  netio::PacketVector packets;
+  for (int i = 0; i < 3; ++i) {
+    netio::PacketRecord rec;
+    rec.timestamp_ns = static_cast<std::uint64_t>(i);
+    rec.key = netio::FlowKey{1, 2, 3, 4,
+                             static_cast<std::uint8_t>(netio::IpProto::kUdp)};
+    rec.wire_len = 80;
+    packets.push_back(rec);
+  }
+  netio::save_pcap(path_, packets);
+  const auto full = std::filesystem::file_size(path_);
+  const auto original = [&] {
+    std::ifstream in{path_, std::ios::binary};
+    std::vector<char> data(full);
+    in.read(data.data(), static_cast<std::streamsize>(full));
+    return data;
+  }();
+
+  for (std::size_t cut = 0; cut <= full; cut += 7) {
+    {
+      std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+      out.write(original.data(), static_cast<std::streamsize>(cut));
+    }
+    try {
+      netio::PcapReader reader{path_};
+      while (reader.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_F(FuzzFileTest, PcapngReaderRejectsGarbageGracefully) {
+  util::Xoshiro256ss rng{106};
+  for (int trial = 0; trial < 200; ++trial) {
+    {
+      std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+      // Half the trials start with the right magic to reach deeper code.
+      if (trial % 2 == 0) {
+        const std::uint32_t shb = netio::kPcapngShb;
+        out.write(reinterpret_cast<const char*>(&shb), 4);
+      }
+      const auto bytes = random_bytes(rng, 16 + rng.next_below(300));
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+      netio::PcapngReader reader{path_};
+      while (reader.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace instameasure

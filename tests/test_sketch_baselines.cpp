@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "sketch/bloom.h"
+#include "sketch/countmin.h"
+#include "sketch/csm.h"
+#include "sketch/spacesaving.h"
+#include "util/rng.h"
+
+namespace instameasure::sketch {
+namespace {
+
+// ---------- Count-Min ----------
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch cm{CountMinConfig{1 << 10, 4, 1}};
+  util::SplitMix64 keys{3};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flows;
+  for (int f = 0; f < 200; ++f) {
+    const auto key = keys();
+    const std::uint64_t count = 1 + (key % 50);
+    for (std::uint64_t i = 0; i < count; ++i) cm.add(key);
+    flows.emplace_back(key, count);
+  }
+  for (const auto& [key, count] : flows) {
+    EXPECT_GE(cm.query(key), count);
+  }
+}
+
+TEST(CountMin, ExactWhenUncontended) {
+  CountMinSketch cm{CountMinConfig{1 << 16, 4, 2}};
+  cm.add(42, 17);
+  EXPECT_EQ(cm.query(42), 17u);
+  EXPECT_EQ(cm.query(43), 0u);
+}
+
+TEST(CountMin, MergeEqualsCombinedStream) {
+  const CountMinConfig config{1 << 12, 4, 9};
+  CountMinSketch a{config}, b{config}, combined{config};
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    a.add(k, k + 1);
+    combined.add(k, k + 1);
+  }
+  for (std::uint64_t k = 50; k < 150; ++k) {
+    b.add(k, 2);
+    combined.add(k, 2);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), combined.total());
+  for (std::uint64_t k = 0; k < 150; ++k) {
+    EXPECT_EQ(a.query(k), combined.query(k));
+  }
+}
+
+TEST(CountMin, ResetZeroes) {
+  CountMinSketch cm{CountMinConfig{1 << 8, 2, 5}};
+  cm.add(7, 100);
+  cm.reset();
+  EXPECT_EQ(cm.query(7), 0u);
+  EXPECT_EQ(cm.total(), 0u);
+}
+
+// ---------- CSM ----------
+
+TEST(Csm, EstimatesLargeFlowsAccurately) {
+  CsmSketch csm{CsmConfig{1 << 20, 16, 4}};
+  util::SplitMix64 keys{8};
+  // Background: 200k packets over 20k mice flows.
+  for (int f = 0; f < 20'000; ++f) {
+    const auto key = keys();
+    for (int i = 0; i < 10; ++i) csm.add(key);
+  }
+  // Elephant: 100k packets.
+  const std::uint64_t elephant = 0xE1E1E1;
+  for (int i = 0; i < 100'000; ++i) csm.add(elephant);
+  const double est = csm.estimate(elephant);
+  EXPECT_NEAR(est / 100'000.0, 1.0, 0.1);
+}
+
+TEST(Csm, SmallFlowsAreNoisy) {
+  // The paper's point: CSM needs the *global* total for decode, and small
+  // flows drown in shared-counter noise. A 10-packet flow under heavy
+  // background traffic decodes with large absolute noise bounds.
+  CsmSketch csm{CsmConfig{1 << 14, 16, 5}};
+  util::SplitMix64 keys{9};
+  for (int f = 0; f < 50'000; ++f) csm.add(keys());
+  const std::uint64_t small = 0x5A5A;
+  for (int i = 0; i < 10; ++i) csm.add(small);
+  // Estimate exists but we only assert it is non-negative and bounded by
+  // the noise envelope (l * total / m * few sigma), not accurate.
+  const double est = csm.estimate(small);
+  EXPECT_GE(est, 0.0);
+  EXPECT_LT(est, 2000.0);
+}
+
+TEST(Csm, DecodeTouchesPerFlowCounters) {
+  CsmSketch csm{CsmConfig{1 << 12, 32, 6}};
+  EXPECT_EQ(csm.counters_touched_per_decode(), 32u);
+}
+
+TEST(Csm, ResetZeroes) {
+  CsmSketch csm{CsmConfig{1 << 10, 8, 7}};
+  for (int i = 0; i < 100; ++i) csm.add(1);
+  csm.reset();
+  EXPECT_EQ(csm.total(), 0u);
+  EXPECT_DOUBLE_EQ(csm.estimate(1), 0.0);
+}
+
+// ---------- Space-Saving ----------
+
+TEST(SpaceSaving, TracksHeavyKeysExactlyWhenUnderCapacity) {
+  SpaceSaving ss{10};
+  for (int i = 0; i < 100; ++i) ss.add(1);
+  for (int i = 0; i < 50; ++i) ss.add(2);
+  EXPECT_EQ(ss.query(1), 100u);
+  EXPECT_EQ(ss.query(2), 50u);
+  EXPECT_EQ(ss.query(999), 0u);
+}
+
+TEST(SpaceSaving, OverestimateBoundHolds) {
+  SpaceSaving ss{8};
+  util::SplitMix64 keys{10};
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  // Heavy skew: key 1 dominates.
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = (i % 3 == 0) ? 1 : (keys() % 64);
+    ss.add(key);
+    ++truth[key];
+  }
+  for (const auto& entry : ss.top()) {
+    EXPECT_GE(entry.count, truth[entry.key])
+        << "space-saving may only overestimate";
+    EXPECT_LE(entry.count - entry.error, truth[entry.key])
+        << "count - error is a lower bound";
+  }
+}
+
+TEST(SpaceSaving, HeaviestKeySurvivesChurn) {
+  SpaceSaving ss{4};
+  util::SplitMix64 keys{11};
+  for (int i = 0; i < 10'000; ++i) {
+    ss.add(0xBEEF);          // persistent heavy hitter
+    ss.add(keys() % 10000);  // churning mice
+  }
+  EXPECT_TRUE(ss.contains(0xBEEF));
+  EXPECT_EQ(ss.top().front().key, 0xBEEF);
+}
+
+TEST(SpaceSaving, CapacityRespected) {
+  SpaceSaving ss{5};
+  for (std::uint64_t k = 0; k < 100; ++k) ss.add(k);
+  EXPECT_EQ(ss.size(), 5u);
+}
+
+// ---------- Bloom ----------
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bloom{10'000, 0.01};
+  util::SplitMix64 keys{12};
+  std::vector<std::uint64_t> inserted;
+  for (int i = 0; i < 10'000; ++i) {
+    inserted.push_back(keys());
+    bloom.insert(inserted.back());
+  }
+  for (const auto key : inserted) {
+    EXPECT_TRUE(bloom.maybe_contains(key));
+  }
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+  BloomFilter bloom{10'000, 0.01};
+  util::SplitMix64 keys{13};
+  for (int i = 0; i < 10'000; ++i) bloom.insert(keys());
+  util::SplitMix64 probes{999};  // disjoint stream
+  int fp = 0;
+  constexpr int kProbes = 50'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bloom.maybe_contains(probes())) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / kProbes, 0.03);
+}
+
+TEST(Bloom, ResetClears) {
+  BloomFilter bloom{100, 0.01};
+  bloom.insert(5);
+  bloom.reset();
+  EXPECT_FALSE(bloom.maybe_contains(5));
+}
+
+TEST(Bloom, SizingMonotoneInTargetRate) {
+  BloomFilter loose{1000, 0.1};
+  BloomFilter tight{1000, 0.001};
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+}  // namespace
+}  // namespace instameasure::sketch

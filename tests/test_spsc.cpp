@@ -1,0 +1,154 @@
+#include "runtime/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <span>
+#include <thread>
+
+namespace instameasure::runtime {
+namespace {
+
+TEST(SpscQueue, FifoOrderSingleThread) {
+  SpscQueue<int> q{8};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, FullRejectsPush) {
+  SpscQueue<int> q{4};
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_TRUE(q.try_pop().has_value());
+  EXPECT_TRUE(q.try_push(99)) << "freed slot must be reusable";
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q{5};
+  EXPECT_EQ(q.capacity(), 8u);
+  SpscQueue<int> q1{1};
+  EXPECT_EQ(q1.capacity(), 2u);
+}
+
+TEST(SpscQueue, WrapAroundManyTimes) {
+  SpscQueue<int> q{4};
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscQueue, SizeApproxTracksOccupancy) {
+  SpscQueue<int> q{16};
+  EXPECT_EQ(q.size_approx(), 0u);
+  (void)q.try_push(1);
+  (void)q.try_push(2);
+  EXPECT_EQ(q.size_approx(), 2u);
+  (void)q.try_pop();
+  EXPECT_EQ(q.size_approx(), 1u);
+}
+
+TEST(SpscQueue, BurstPushRespectsCapacity) {
+  SpscQueue<int> q{8};
+  const std::array<int, 12> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(q.try_push_burst(std::span{items}), 8u) << "only capacity fits";
+  EXPECT_EQ(q.try_push_burst(std::span{items}), 0u) << "full";
+  for (int i = 0; i < 8; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscQueue, BurstPopDrainsInOrder) {
+  SpscQueue<int> q{16};
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(i));
+  std::array<int, 4> out{};
+  EXPECT_EQ(q.try_pop_burst(std::span{out}), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 3);
+  EXPECT_EQ(q.try_pop_burst(std::span{out}), 4u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(q.try_pop_burst(std::span{out}), 2u) << "partial final burst";
+  EXPECT_EQ(out[0], 8);
+  EXPECT_EQ(out[1], 9);
+  EXPECT_EQ(q.try_pop_burst(std::span{out}), 0u);
+}
+
+TEST(SpscQueue, BurstTwoThreadStress) {
+  constexpr std::uint64_t kN = 2'000'000;
+  SpscQueue<std::uint64_t> q{1024};
+  std::uint64_t sum = 0, count = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::array<std::uint64_t, 32> burst{};
+    std::uint64_t expected = 0;
+    while (count < kN) {
+      const auto n = q.try_pop_burst(std::span{burst});
+      for (std::size_t i = 0; i < n; ++i) {
+        if (burst[i] != expected) ordered = false;
+        ++expected;
+        sum += burst[i];
+      }
+      count += n;
+    }
+  });
+  std::array<std::uint64_t, 32> out{};
+  std::uint64_t next = 0;
+  while (next < kN) {
+    const auto m = std::min<std::uint64_t>(32, kN - next);
+    for (std::uint64_t i = 0; i < m; ++i) out[i] = next + i;
+    std::uint64_t pushed = 0;
+    while (pushed < m) {
+      pushed += q.try_push_burst(
+          std::span{out.data() + pushed, static_cast<std::size_t>(m - pushed)});
+    }
+    next += m;
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(count, kN);
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesSequence) {
+  // Producer pushes 0..N-1; consumer must see exactly that sequence.
+  constexpr std::uint64_t kN = 2'000'000;
+  SpscQueue<std::uint64_t> q{1024};
+  std::uint64_t sum = 0, count = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::uint64_t expected = 0;
+    while (count < kN) {
+      if (const auto v = q.try_pop()) {
+        if (*v != expected) ordered = false;
+        ++expected;
+        sum += *v;
+        ++count;
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    while (!q.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(count, kN);
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace instameasure::runtime

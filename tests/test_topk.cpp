@@ -1,0 +1,66 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+namespace instameasure::core {
+namespace {
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, n + 1, 80, 443, 6};
+}
+
+WsafTable build_table(std::size_t flows) {
+  WsafConfig config;
+  config.log2_entries = 10;
+  config.probe_limit = 16;
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < flows; ++n) {
+    const auto key = key_n(n);
+    // packets ascending with n, bytes descending: the two rankings differ.
+    table.accumulate(key, key.hash(), static_cast<double>(n + 1),
+                     static_cast<double>(flows - n) * 100.0, n);
+  }
+  return table;
+}
+
+TEST(TopK, PacketsDescendingOrder) {
+  const auto table = build_table(100);
+  const auto top = top_k(table, 10, TopKMetric::kPackets);
+  ASSERT_EQ(top.size(), 10u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].packets, top[i].packets);
+  }
+  EXPECT_DOUBLE_EQ(top.front().packets, 100.0);
+}
+
+TEST(TopK, BytesRankingDiffersFromPackets) {
+  const auto table = build_table(100);
+  const auto by_pkts = top_k(table, 1, TopKMetric::kPackets);
+  const auto by_bytes = top_k(table, 1, TopKMetric::kBytes);
+  ASSERT_EQ(by_pkts.size(), 1u);
+  ASSERT_EQ(by_bytes.size(), 1u);
+  EXPECT_NE(by_pkts.front().key, by_bytes.front().key);
+  EXPECT_DOUBLE_EQ(by_bytes.front().bytes, 100.0 * 100.0);
+}
+
+TEST(TopK, KLargerThanPopulationReturnsAll) {
+  const auto table = build_table(5);
+  const auto top = top_k(table, 100, TopKMetric::kPackets);
+  EXPECT_EQ(top.size(), 5u);
+}
+
+TEST(TopK, EmptyTable) {
+  WsafConfig config;
+  config.log2_entries = 4;
+  const WsafTable table{config};
+  EXPECT_TRUE(top_k(table, 10, TopKMetric::kPackets).empty());
+}
+
+TEST(TopK, ExactKBoundary) {
+  const auto table = build_table(10);
+  const auto top = top_k(table, 10, TopKMetric::kPackets);
+  EXPECT_EQ(top.size(), 10u);
+}
+
+}  // namespace
+}  // namespace instameasure::core

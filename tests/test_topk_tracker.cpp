@@ -1,0 +1,107 @@
+#include "core/topk_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace instameasure::core {
+namespace {
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, ~n, 1, 2, 6};
+}
+
+TEST(TopKTracker, UnderCapacityKeepsEverything) {
+  TopKTracker tracker{5};
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    const auto key = key_n(n);
+    tracker.update(key, key.hash(), static_cast<double>(n + 1));
+  }
+  EXPECT_EQ(tracker.size(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.threshold(), 0.0) << "no bar until full";
+  const auto top = tracker.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(top[2].second, 1.0);
+}
+
+TEST(TopKTracker, EvictsMinimumWhenFull) {
+  TopKTracker tracker{2};
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    const auto key = key_n(n);
+    tracker.update(key, key.hash(), static_cast<double>(n + 1));
+  }
+  const auto top = tracker.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].second, 4.0);
+  EXPECT_DOUBLE_EQ(top[1].second, 3.0);
+  EXPECT_DOUBLE_EQ(tracker.threshold(), 3.0);
+}
+
+TEST(TopKTracker, BelowBarIgnored) {
+  TopKTracker tracker{2};
+  tracker.update(key_n(1), key_n(1).hash(), 100.0);
+  tracker.update(key_n(2), key_n(2).hash(), 200.0);
+  tracker.update(key_n(3), key_n(3).hash(), 50.0);  // below the bar
+  const auto top = tracker.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, key_n(2));
+  EXPECT_EQ(top[1].first, key_n(1));
+}
+
+TEST(TopKTracker, UpdatesRepositionExistingFlow) {
+  TopKTracker tracker{3};
+  tracker.update(key_n(1), key_n(1).hash(), 10.0);
+  tracker.update(key_n(2), key_n(2).hash(), 20.0);
+  tracker.update(key_n(3), key_n(3).hash(), 30.0);
+  // Flow 1 grows past everyone.
+  tracker.update(key_n(1), key_n(1).hash(), 99.0);
+  const auto top = tracker.top();
+  EXPECT_EQ(top[0].first, key_n(1));
+  EXPECT_DOUBLE_EQ(top[0].second, 99.0);
+  EXPECT_EQ(tracker.size(), 3u) << "no duplicates";
+}
+
+TEST(TopKTracker, MatchesOfflineSortUnderRandomUpdates) {
+  // Property: after a stream of monotone running totals, the tracker's set
+  // equals the offline top-K of final totals.
+  constexpr std::size_t kK = 16;
+  constexpr int kFlows = 400;
+  TopKTracker tracker{kK};
+  util::Xoshiro256ss rng{9};
+  std::vector<double> totals(kFlows, 0.0);
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      if (rng.next_double() < 0.3) {
+        totals[f] += 1.0 + rng.next_double() * 10.0;
+        tracker.update(key_n(f), key_n(f).hash(), totals[f]);
+      }
+    }
+  }
+  auto sorted = totals;
+  std::sort(sorted.rbegin(), sorted.rend());
+  const auto top = tracker.top();
+  ASSERT_EQ(top.size(), kK);
+  for (std::size_t i = 0; i < kK; ++i) {
+    EXPECT_DOUBLE_EQ(top[i].second, sorted[i]) << "rank " << i;
+  }
+}
+
+TEST(TopKTracker, ZeroKIsInert) {
+  TopKTracker tracker{0};
+  tracker.update(key_n(1), key_n(1).hash(), 5.0);
+  EXPECT_TRUE(tracker.top().empty());
+}
+
+TEST(TopKTracker, ResetClears) {
+  TopKTracker tracker{4};
+  tracker.update(key_n(1), key_n(1).hash(), 5.0);
+  tracker.reset();
+  EXPECT_EQ(tracker.size(), 0u);
+  EXPECT_TRUE(tracker.top().empty());
+}
+
+}  // namespace
+}  // namespace instameasure::core

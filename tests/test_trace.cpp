@@ -1,0 +1,226 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "analysis/ground_truth.h"
+
+namespace instameasure::trace {
+namespace {
+
+TraceConfig tiny_config() {
+  TraceConfig config;
+  config.name = "tiny";
+  config.duration_s = 2.0;
+  config.tiers = {{5, 1000, 2000}, {50, 50, 200}};
+  config.mice = {2000, 1.0, 20};
+  config.seed = 123;
+  return config;
+}
+
+TEST(Generator, Deterministic) {
+  const auto a = generate(tiny_config());
+  const auto b = generate(tiny_config());
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_EQ(a.packets.front(), b.packets.front());
+  EXPECT_EQ(a.packets.back(), b.packets.back());
+}
+
+TEST(Generator, PacketsSortedByTimestamp) {
+  const auto trace = generate(tiny_config());
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_LE(trace.packets[i - 1].timestamp_ns, trace.packets[i].timestamp_ns);
+  }
+}
+
+TEST(Generator, FlowPopulationMatchesConfig) {
+  const auto trace = generate(tiny_config());
+  const analysis::GroundTruth truth{trace};
+  // 5 + 50 tier flows + up to 2000 mice (random keys may collide; allow 1%).
+  EXPECT_GE(truth.flow_count(), 2000u);
+  EXPECT_LE(truth.flow_count(), 2055u);
+}
+
+TEST(Generator, TierSizesRespected) {
+  const auto trace = generate(tiny_config());
+  const analysis::GroundTruth truth{trace};
+  std::size_t big = 0;
+  for (const auto& [key, t] : truth.flows()) {
+    if (t.packets >= 1000) ++big;
+    EXPECT_LE(t.packets, 2000u + 5u);  // collisions may merge tiny flows
+  }
+  EXPECT_EQ(big, 5u);
+}
+
+TEST(Generator, TimestampsWithinDuration) {
+  const auto trace = generate(tiny_config());
+  EXPECT_LT(trace.packets.back().timestamp_ns, 2'100'000'000ULL);
+}
+
+TEST(Generator, WireLengthsWithinModel) {
+  const auto config = tiny_config();
+  const auto trace = generate(config);
+  for (const auto& rec : trace.packets) {
+    EXPECT_GE(rec.wire_len, config.sizes.small_min);
+    EXPECT_LE(rec.wire_len, config.sizes.large_max);
+  }
+}
+
+TEST(Generator, TcpFractionApproximate) {
+  auto config = tiny_config();
+  config.tcp_fraction = 0.9;
+  config.mice.n_flows = 20'000;
+  const auto trace = generate(config);
+  const analysis::GroundTruth truth{trace};
+  std::size_t tcp = 0;
+  for (const auto& [key, t] : truth.flows()) {
+    if (key.proto == static_cast<std::uint8_t>(netio::IpProto::kTcp)) ++tcp;
+  }
+  const double fraction =
+      static_cast<double>(tcp) / static_cast<double>(truth.flow_count());
+  EXPECT_NEAR(fraction, 0.9, 0.02);
+}
+
+TEST(Generator, DiurnalModulationShapesRate) {
+  auto config = tiny_config();
+  config.duration_s = 20.0;
+  config.diurnal_depth = 0.9;
+  config.diurnal_period_s = 20.0;  // one full cycle
+  config.mice = {50'000, 1.0, 10};
+  const auto trace = generate(config);
+  const auto timeline = pps_timeline(trace, 1.0);
+  ASSERT_GE(timeline.size(), 18u);
+  // First half of the sine (rate > mean) must carry visibly more packets
+  // than the second half (rate < mean).
+  double first = 0, second = 0;
+  for (std::size_t i = 0; i < 10; ++i) first += timeline[i];
+  for (std::size_t i = 10; i < std::min<std::size_t>(20, timeline.size()); ++i) {
+    second += timeline[i];
+  }
+  EXPECT_GT(first, second * 1.5);
+}
+
+TEST(CaidaLike, ScaleControlsVolume) {
+  const auto small = generate(caida_like_config(0.002));
+  const auto tiny = generate(caida_like_config(0.001));
+  EXPECT_GT(small.packets.size(), tiny.packets.size());
+  EXPECT_GT(tiny.packets.size(), 1000u);
+}
+
+TEST(CaidaLike, ZipfShape) {
+  const auto trace = generate(caida_like_config(0.01));
+  const analysis::GroundTruth truth{trace};
+  // Mice (<10 pkts) must dominate the flow count; elephants must exist.
+  std::size_t mice = 0, elephants = 0;
+  std::uint64_t biggest = 0;
+  for (const auto& [key, t] : truth.flows()) {
+    if (t.packets < 10) ++mice;
+    if (t.packets > 1000) ++elephants;
+    biggest = std::max(biggest, t.packets);
+  }
+  EXPECT_GT(static_cast<double>(mice) / truth.flow_count(), 0.7);
+  EXPECT_GT(elephants, 0u);
+  EXPECT_GT(biggest, 1000u);
+}
+
+TEST(Campus, TcpHeavyMix) {
+  const auto trace = generate(campus_config(0.01, 20.0));
+  std::uint64_t tcp = 0;
+  for (const auto& rec : trace.packets) {
+    if (rec.key.proto == static_cast<std::uint8_t>(netio::IpProto::kTcp)) ++tcp;
+  }
+  EXPECT_GT(static_cast<double>(tcp) / trace.packets.size(), 0.85);
+}
+
+TEST(InjectAttack, AddsConstantRateFlow) {
+  auto trace = generate(tiny_config());
+  const auto before = trace.packets.size();
+  AttackSpec spec;
+  spec.rate_pps = 5000;
+  spec.start_s = 0.5;
+  spec.duration_s = 1.0;
+  const auto key = inject_attack(trace, spec);
+  EXPECT_EQ(trace.packets.size(), before + 5000);
+  const analysis::GroundTruth truth{trace};
+  const auto* t = truth.find(key);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->packets, 5000u);
+  // Still sorted after injection.
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    ASSERT_LE(trace.packets[i - 1].timestamp_ns, trace.packets[i].timestamp_ns);
+  }
+}
+
+TEST(InjectScan, CreatesDistinctDestinationMiceFlows) {
+  auto trace = generate(tiny_config());
+  ScanSpec spec;
+  spec.n_destinations = 1000;
+  spec.packets_per_dst = 2;
+  spec.start_s = 0.2;
+  spec.duration_s = 0.5;
+  const auto src = inject_scan(trace, spec);
+  const analysis::GroundTruth truth{trace};
+  std::size_t scan_flows = 0;
+  std::set<std::uint32_t> dsts;
+  for (const auto& [key, t] : truth.flows()) {
+    if (key.src_ip != src) continue;
+    ++scan_flows;
+    dsts.insert(key.dst_ip);
+    EXPECT_EQ(t.packets, 2u);
+  }
+  EXPECT_EQ(scan_flows, 1000u);
+  EXPECT_EQ(dsts.size(), 1000u) << "every contact hits a distinct dst";
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    ASSERT_LE(trace.packets[i - 1].timestamp_ns, trace.packets[i].timestamp_ns);
+  }
+}
+
+TEST(InjectScan, ExplicitSourceRespected) {
+  auto trace = generate(tiny_config());
+  ScanSpec spec;
+  spec.src_ip = 0xC0A80099;
+  spec.n_destinations = 10;
+  EXPECT_EQ(inject_scan(trace, spec), 0xC0A80099u);
+}
+
+TEST(Merge, InterleavesByTimestamp) {
+  auto config_a = tiny_config();
+  auto config_b = tiny_config();
+  config_b.seed = 456;
+  const auto a = generate(config_a);
+  const auto b = generate(config_b);
+  const auto merged = merge(a, b);
+  EXPECT_EQ(merged.packets.size(), a.packets.size() + b.packets.size());
+  for (std::size_t i = 1; i < merged.packets.size(); ++i) {
+    ASSERT_LE(merged.packets[i - 1].timestamp_ns,
+              merged.packets[i].timestamp_ns);
+  }
+}
+
+TEST(PpsTimeline, CountsPerInterval) {
+  Trace trace;
+  trace.name = "manual";
+  for (int i = 0; i < 10; ++i) {
+    netio::PacketRecord rec;
+    rec.timestamp_ns = static_cast<std::uint64_t>(i) * 100'000'000ULL;  // 0.1s
+    rec.wire_len = 100;
+    trace.packets.push_back(rec);
+  }
+  const auto timeline = pps_timeline(trace, 0.5);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0], 10.0);  // 5 packets / 0.5s
+  EXPECT_DOUBLE_EQ(timeline[1], 10.0);
+}
+
+TEST(TraceStats, DurationAndRates) {
+  const auto trace = generate(tiny_config());
+  EXPECT_GT(trace.duration_s(), 1.0);
+  EXPECT_LT(trace.duration_s(), 2.1);
+  EXPECT_GT(trace.average_pps(), 0.0);
+  EXPECT_GT(trace.total_bytes(), trace.packets.size() * 64);
+}
+
+}  // namespace
+}  // namespace instameasure::trace

@@ -1,0 +1,98 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "trace/generator.h"
+
+namespace instameasure::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("im_trace_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripExact) {
+  TraceConfig config;
+  config.name = "roundtrip-check";
+  config.duration_s = 1.0;
+  config.tiers = {{3, 500, 1000}};
+  config.mice = {2000, 1.0, 15};
+  config.seed = 31;
+  const auto original = generate(config);
+
+  save_trace(path_, original);
+  const auto loaded = load_trace(path_);
+
+  EXPECT_EQ(loaded.name, original.name);
+  ASSERT_EQ(loaded.packets.size(), original.packets.size());
+  for (std::size_t i = 0; i < original.packets.size(); i += 97) {
+    EXPECT_EQ(loaded.packets[i], original.packets[i]) << "record " << i;
+  }
+  EXPECT_EQ(loaded.packets.back(), original.packets.back());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.name = "empty";
+  save_trace(path_, empty);
+  const auto loaded = load_trace(path_);
+  EXPECT_EQ(loaded.name, "empty");
+  EXPECT_TRUE(loaded.packets.empty());
+}
+
+TEST_F(TraceIoTest, CompactOnDisk) {
+  TraceConfig config;
+  config.duration_s = 1.0;
+  config.mice = {10'000, 1.0, 10};
+  config.seed = 32;
+  const auto trace = generate(config);
+  save_trace(path_, trace);
+  const auto size = std::filesystem::file_size(path_);
+  // 24 bytes/record + small header: far cheaper than a pcap of frames.
+  EXPECT_LT(size, trace.packets.size() * 25 + 256);
+  EXPECT_GT(size, trace.packets.size() * 23);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/trace.bin"),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out << "this is not a trace file at all, sorry";
+  }
+  EXPECT_THROW((void)load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncationThrows) {
+  Trace trace;
+  trace.name = "t";
+  for (int i = 0; i < 10; ++i) {
+    netio::PacketRecord rec;
+    rec.timestamp_ns = static_cast<std::uint64_t>(i);
+    rec.wire_len = 100;
+    trace.packets.push_back(rec);
+  }
+  save_trace(path_, trace);
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) - 5);
+  EXPECT_THROW((void)load_trace(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace instameasure::trace

@@ -1,0 +1,82 @@
+// VLAN-tagged frame handling: mirror ports (the paper's capture point)
+// commonly deliver 802.1Q-tagged or QinQ double-tagged frames.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "netio/codec.h"
+
+namespace instameasure::netio {
+namespace {
+
+FlowKey sample_key() {
+  return FlowKey{0x0A000001, 0x0A000002, 1234, 80,
+                 static_cast<std::uint8_t>(IpProto::kTcp)};
+}
+
+TEST(Vlan, SingleTagRoundTrip) {
+  const auto key = sample_key();
+  const auto frame = encode_frame(key, 100, /*vlan_id=*/42);
+  const auto parsed = decode_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, key);
+}
+
+TEST(Vlan, TaggedFrameIsFourBytesLonger) {
+  const auto key = sample_key();
+  const auto untagged = encode_frame(key, 100, 0);
+  const auto tagged = encode_frame(key, 100, 7);
+  EXPECT_EQ(tagged.size(), untagged.size() + 4);
+}
+
+TEST(Vlan, VlanIdMaskedToTwelveBits) {
+  // IDs above 4095 must not corrupt the TCI encoding.
+  const auto key = sample_key();
+  const auto frame = encode_frame(key, 10, 0xF123);
+  const auto parsed = decode_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, key);
+}
+
+TEST(Vlan, QinQDoubleTagDecodes) {
+  // Hand-build a QinQ frame: outer 0x88a8 tag, inner 0x8100 tag.
+  const auto key = sample_key();
+  auto inner = encode_frame(key, 50, /*vlan_id=*/100);  // 0x8100 at offset 12
+  // Insert an outer 802.1ad tag before the existing one.
+  std::vector<std::byte> frame(inner.begin(), inner.begin() + 12);
+  frame.push_back(std::byte{0x88});
+  frame.push_back(std::byte{0xa8});
+  frame.push_back(std::byte{0x00});
+  frame.push_back(std::byte{0x0a});  // outer VID 10
+  frame.insert(frame.end(), inner.begin() + 12, inner.end());
+
+  const auto parsed = decode_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, key);
+}
+
+TEST(Vlan, TripleTagRejected) {
+  // More than two tags is outside the supported profile: the parser must
+  // fail cleanly, not mis-parse.
+  const auto key = sample_key();
+  auto base = encode_frame(key, 50, 100);
+  std::vector<std::byte> frame(base.begin(), base.begin() + 12);
+  for (int i = 0; i < 2; ++i) {
+    frame.push_back(std::byte{0x81});
+    frame.push_back(std::byte{0x00});
+    frame.push_back(std::byte{0x00});
+    frame.push_back(std::byte{0x01});
+  }
+  frame.insert(frame.end(), base.begin() + 12, base.end());
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+TEST(Vlan, TruncatedTaggedFrameRejected) {
+  const auto key = sample_key();
+  auto frame = encode_frame(key, 0, 5);
+  frame.resize(20);  // tag present but IPv4 header missing
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+}  // namespace
+}  // namespace instameasure::netio

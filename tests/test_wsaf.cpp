@@ -1,0 +1,225 @@
+#include "core/wsaf_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace instameasure::core {
+namespace {
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, ~n, static_cast<std::uint16_t>(n & 0xffff),
+                        static_cast<std::uint16_t>((n >> 8) & 0xffff), 6};
+}
+
+WsafConfig tiny_config(unsigned log2_entries = 8, unsigned probe_limit = 4) {
+  WsafConfig config;
+  config.log2_entries = log2_entries;
+  config.probe_limit = probe_limit;
+  return config;
+}
+
+TEST(WsafTable, InsertThenLookup) {
+  WsafTable table{tiny_config()};
+  const auto key = key_n(1);
+  const auto hash = key.hash();
+  table.accumulate(key, hash, 10.0, 5000.0, 100);
+  const auto entry = table.lookup(key, hash);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->packets, 10.0);
+  EXPECT_DOUBLE_EQ(entry->bytes, 5000.0);
+  EXPECT_EQ(entry->last_update_ns, 100u);
+  EXPECT_EQ(entry->key, key);
+}
+
+TEST(WsafTable, UpdateAccumulates) {
+  WsafTable table{tiny_config()};
+  const auto key = key_n(2);
+  const auto hash = key.hash();
+  table.accumulate(key, hash, 10.0, 1000.0, 1);
+  const auto totals = table.accumulate(key, hash, 5.0, 500.0, 2);
+  EXPECT_DOUBLE_EQ(totals.packets, 15.0);
+  EXPECT_DOUBLE_EQ(totals.bytes, 1500.0);
+  EXPECT_EQ(table.stats().inserts, 1u);
+  EXPECT_EQ(table.stats().updates, 1u);
+  EXPECT_EQ(table.occupancy(), 1u);
+}
+
+TEST(WsafTable, LookupMissingReturnsNullopt) {
+  WsafTable table{tiny_config()};
+  const auto key = key_n(3);
+  EXPECT_FALSE(table.lookup(key, key.hash()).has_value());
+}
+
+TEST(WsafTable, DistinctFlowsCoexist) {
+  WsafTable table{tiny_config(10, 8)};
+  for (std::uint32_t n = 0; n < 100; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(), static_cast<double>(n + 1), 0.0, n);
+  }
+  // With load factor ~10% and probe limit 8, evictions should be rare; all
+  // recently inserted flows should be findable.
+  std::size_t found = 0;
+  for (std::uint32_t n = 0; n < 100; ++n) {
+    const auto key = key_n(n);
+    if (const auto e = table.lookup(key, key.hash())) {
+      EXPECT_DOUBLE_EQ(e->packets, static_cast<double>(n + 1));
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 99u);
+}
+
+TEST(WsafTable, EvictionWhenProbeWindowFull) {
+  // 4-slot table with probe limit 4: the 5th distinct flow must evict.
+  WsafConfig config = tiny_config(2, 4);
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < 5; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(), 1.0, 0.0, n);
+  }
+  EXPECT_EQ(table.stats().evictions, 1u);
+  EXPECT_LE(table.occupancy(), 4u);
+}
+
+TEST(WsafTable, SecondChancePrefersUnreferencedVictims) {
+  WsafConfig config = tiny_config(2, 4);
+  WsafTable table{config};
+  // Fill the table: flows 0-3.
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(), 1.0, 0.0, n);
+  }
+  // Touch flow 0 again -> its referenced bit is set.
+  table.accumulate(key_n(0), key_n(0).hash(), 1.0, 0.0, 10);
+  // New flow forces eviction; flow 0 must survive (second chance).
+  const auto newcomer = key_n(99);
+  table.accumulate(newcomer, newcomer.hash(), 1.0, 0.0, 11);
+  EXPECT_TRUE(table.lookup(key_n(0), key_n(0).hash()).has_value());
+  EXPECT_TRUE(table.lookup(newcomer, newcomer.hash()).has_value());
+}
+
+TEST(WsafTable, GarbageCollectionReclaimsIdleEntries) {
+  WsafConfig config = tiny_config(2, 4);
+  config.idle_timeout_ns = 1000;
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(), 1.0, 0.0, /*now=*/n);
+  }
+  // Much later, a new flow arrives: idle entries are reclaimed inline
+  // rather than evicting via second chance.
+  const auto newcomer = key_n(50);
+  table.accumulate(newcomer, newcomer.hash(), 1.0, 0.0, /*now=*/10'000);
+  EXPECT_GE(table.stats().gc_reclaims, 1u);
+  EXPECT_EQ(table.stats().evictions, 0u);
+  EXPECT_TRUE(table.lookup(newcomer, newcomer.hash()).has_value());
+}
+
+TEST(WsafTable, ExpiredEntryIsNotUpdated) {
+  WsafConfig config = tiny_config(4, 4);
+  config.idle_timeout_ns = 100;
+  WsafTable table{config};
+  const auto key = key_n(7);
+  table.accumulate(key, key.hash(), 5.0, 0.0, 0);
+  // Long idle gap: the flow's record has expired; a new event re-inserts
+  // fresh rather than resuming the stale count.
+  const auto totals = table.accumulate(key, key.hash(), 3.0, 0.0, 10'000);
+  EXPECT_DOUBLE_EQ(totals.packets, 3.0);
+}
+
+TEST(WsafTable, HighLoadFactorReachable) {
+  // Quadratic probing over power-of-two size with generous probe limit
+  // should fill most of a small table.
+  WsafConfig config = tiny_config(10, 32);
+  WsafTable table{config};
+  util::SplitMix64 rng{5};
+  for (int n = 0; n < 5000; ++n) {
+    const auto key = key_n(static_cast<std::uint32_t>(rng()));
+    table.accumulate(key, key.hash(), 1.0, 0.0, static_cast<std::uint64_t>(n));
+  }
+  EXPECT_GT(table.load_factor(), 0.9);
+}
+
+TEST(WsafTable, LiveEntriesMatchesOccupancy) {
+  WsafTable table{tiny_config(10, 8)};
+  for (std::uint32_t n = 0; n < 50; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(), 1.0, 2.0, n);
+  }
+  EXPECT_EQ(table.live_entries().size(), table.occupancy());
+}
+
+TEST(WsafTable, ResetClears) {
+  WsafTable table{tiny_config()};
+  const auto key = key_n(1);
+  table.accumulate(key, key.hash(), 1.0, 1.0, 1);
+  table.reset();
+  EXPECT_EQ(table.occupancy(), 0u);
+  EXPECT_FALSE(table.lookup(key, key.hash()).has_value());
+  EXPECT_EQ(table.stats().inserts, 0u);
+}
+
+TEST(WsafTable, RateQueriesUseLifetimeSpan) {
+  WsafTable table{tiny_config()};
+  const auto key = key_n(11);
+  const auto hash = key.hash();
+  // 100 packets at t=0, another 100 at t=1s, 20KB total bytes.
+  table.accumulate(key, hash, 100.0, 10'000.0, 0);
+  table.accumulate(key, hash, 100.0, 10'000.0, 1'000'000'000ULL);
+  const auto entry = table.lookup(key, hash);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first_seen_ns, 0u);
+  EXPECT_EQ(entry->last_update_ns, 1'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(entry->packet_rate(), 200.0) << "200 pkts over 1s";
+  EXPECT_DOUBLE_EQ(entry->byte_rate(), 20'000.0);
+}
+
+TEST(WsafTable, RateZeroForSingleEvent) {
+  WsafTable table{tiny_config()};
+  const auto key = key_n(12);
+  table.accumulate(key, key.hash(), 50.0, 5'000.0, 777);
+  const auto entry = table.lookup(key, key.hash());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->packet_rate(), 0.0) << "no span yet";
+}
+
+TEST(WsafTable, LogicalMemoryAccountingMatchesPaper) {
+  WsafConfig config;
+  config.log2_entries = 20;
+  WsafTable table{config};
+  // Paper §IV.D: 2^20 entries x 33 bytes = 33MB (sic: ~34.6MB decimal).
+  EXPECT_EQ(table.logical_memory_bytes(), (1u << 20) * 33ull);
+}
+
+class WsafProbeLimitTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WsafProbeLimitTest, FlowsSurviveUnderChurn) {
+  WsafConfig config = tiny_config(12, GetParam());
+  WsafTable table{config};
+  util::SplitMix64 rng{9};
+  // Persistent elephants updated continuously amid churning mice.
+  std::vector<netio::FlowKey> elephants;
+  for (std::uint32_t n = 0; n < 16; ++n) elephants.push_back(key_n(n));
+  for (int round = 0; round < 2000; ++round) {
+    for (const auto& e : elephants) {
+      table.accumulate(e, e.hash(), 1.0, 0.0,
+                       static_cast<std::uint64_t>(round) * 100);
+    }
+    for (int m = 0; m < 8; ++m) {
+      const auto key = key_n(static_cast<std::uint32_t>(rng()));
+      table.accumulate(key, key.hash(), 1.0, 0.0,
+                       static_cast<std::uint64_t>(round) * 100 + 50);
+    }
+  }
+  // Frequently-referenced elephants must all survive the churn.
+  for (const auto& e : elephants) {
+    EXPECT_TRUE(table.lookup(e, e.hash()).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbeLimits, WsafProbeLimitTest,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace instameasure::core

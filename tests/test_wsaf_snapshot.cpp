@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/wsaf_table.h"
+
+namespace instameasure::core {
+namespace {
+
+class WsafSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("im_wsaf_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, n + 7, static_cast<std::uint16_t>(n), 80, 6};
+}
+
+WsafTable populated_table() {
+  WsafConfig config;
+  config.log2_entries = 10;
+  config.probe_limit = 8;
+  config.seed = 0x1234;
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < 200; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(), static_cast<double>(n) + 0.5,
+                     static_cast<double>(n) * 100.0, n * 10);
+  }
+  return table;
+}
+
+TEST_F(WsafSnapshotTest, RoundTripPreservesEverything) {
+  const auto original = populated_table();
+  original.save(path_);
+  const auto restored = WsafTable::load(path_);
+
+  EXPECT_EQ(restored.occupancy(), original.occupancy());
+  EXPECT_EQ(restored.config().log2_entries, original.config().log2_entries);
+  EXPECT_EQ(restored.config().probe_limit, original.config().probe_limit);
+  EXPECT_EQ(restored.config().seed, original.config().seed);
+
+  for (std::uint32_t n = 0; n < 200; ++n) {
+    const auto key = key_n(n);
+    const auto a = original.lookup(key, key.hash());
+    const auto b = restored.lookup(key, key.hash());
+    ASSERT_EQ(a.has_value(), b.has_value()) << "flow " << n;
+    if (!a) continue;
+    EXPECT_DOUBLE_EQ(a->packets, b->packets);
+    EXPECT_DOUBLE_EQ(a->bytes, b->bytes);
+    EXPECT_EQ(a->last_update_ns, b->last_update_ns);
+    EXPECT_EQ(a->flow_id, b->flow_id);
+  }
+}
+
+TEST_F(WsafSnapshotTest, RestoredTableAcceptsNewAccumulates) {
+  populated_table().save(path_);
+  auto restored = WsafTable::load(path_);
+  const auto key = key_n(5);
+  const auto before = restored.lookup(key, key.hash())->packets;
+  restored.accumulate(key, key.hash(), 10.0, 0.0, 99'999);
+  EXPECT_DOUBLE_EQ(restored.lookup(key, key.hash())->packets, before + 10.0);
+}
+
+TEST_F(WsafSnapshotTest, EmptyTableRoundTrips) {
+  WsafConfig config;
+  config.log2_entries = 6;
+  const WsafTable table{config};
+  table.save(path_);
+  const auto restored = WsafTable::load(path_);
+  EXPECT_EQ(restored.occupancy(), 0u);
+  EXPECT_EQ(restored.config().log2_entries, 6u);
+}
+
+TEST_F(WsafSnapshotTest, MissingFileThrows) {
+  EXPECT_THROW((void)WsafTable::load("/nonexistent/wsaf.bin"),
+               std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, CorruptMagicThrows) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    const char garbage[64] = "NOTAWSAFSNAPSHOT";
+    out.write(garbage, sizeof garbage);
+  }
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, TruncatedBodyThrows) {
+  populated_table().save(path_);
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 16);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace instameasure::core

@@ -1,0 +1,90 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace instameasure::util {
+namespace {
+
+TEST(ZipfDistribution, SamplesStayInRange) {
+  Xoshiro256ss rng{1};
+  ZipfDistribution zipf{1000, 1.1};
+  for (int i = 0; i < 50000; ++i) {
+    const auto r = zipf(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 1000u);
+  }
+}
+
+TEST(ZipfDistribution, SingleElementAlwaysOne) {
+  Xoshiro256ss rng{2};
+  ZipfDistribution zipf{1, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 1u);
+}
+
+TEST(ZipfDistribution, RankOneIsMostFrequent) {
+  Xoshiro256ss rng{3};
+  ZipfDistribution zipf{100, 1.0};
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfDistribution, FrequencyRatioMatchesAlpha) {
+  // For alpha = 1, P(1)/P(2) should be about 2.
+  Xoshiro256ss rng{4};
+  ZipfDistribution zipf{1000, 1.0};
+  int c1 = 0, c2 = 0;
+  for (int i = 0; i < 500000; ++i) {
+    const auto r = zipf(rng);
+    if (r == 1) ++c1;
+    if (r == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / c2, 2.0, 0.25);
+}
+
+TEST(ZipfDistribution, LargeNIsConstantTime) {
+  // Rejection-inversion needs no table: sampling from a 100M-element
+  // distribution must be instantaneous.
+  Xoshiro256ss rng{5};
+  ZipfDistribution zipf{100'000'000, 1.05};
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) max_seen = std::max(max_seen, zipf(rng));
+  EXPECT_LE(max_seen, 100'000'000u);
+  EXPECT_GT(max_seen, 1000u) << "tail never sampled — suspicious";
+}
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, HigherAlphaConcentratesMass) {
+  Xoshiro256ss rng{6};
+  ZipfDistribution zipf{1000, GetParam()};
+  int head = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (zipf(rng) <= 10) ++head;
+  }
+  // With alpha >= 0.8 the top-10 of 1000 ranks should hold a visible share.
+  EXPECT_GT(static_cast<double>(head) / kN, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5));
+
+TEST(ZipfFlowSizes, ShapeAndBounds) {
+  const auto sizes = zipf_flow_sizes(1000, 1.0, 10000);
+  ASSERT_EQ(sizes.size(), 1000u);
+  EXPECT_EQ(sizes[0], 10000u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1]) << "sizes must be non-increasing";
+    EXPECT_GE(sizes[i], 1u);
+  }
+  // Rank r size ~ max / r for alpha = 1.
+  EXPECT_NEAR(static_cast<double>(sizes[9]), 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace instameasure::util
