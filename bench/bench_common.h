@@ -13,6 +13,7 @@
 #include <string>
 
 #include "analysis/report.h"
+#include "telemetry/export.h"
 #include "trace/generator.h"
 #include "util/cli.h"
 #include "util/format.h"
@@ -36,6 +37,16 @@ inline void print_trace_summary(const trace::Trace& trace) {
 
 inline void shape_check(bool ok, const std::string& what) {
   std::printf("SHAPE-CHECK %s: %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+/// Append the registry's final state as one JSON line, fenced so log
+/// scrapers (and EXPERIMENTS.md tooling) can lift the machine-readable
+/// record out of the human-readable table above it. No-op when telemetry
+/// is compiled out (the stub snapshot is empty).
+inline void print_metrics_json(const telemetry::Registry& registry) {
+  if (!telemetry::kEnabled) return;
+  std::printf("METRICS-JSON %s\n",
+              telemetry::to_json(registry.snapshot()).c_str());
 }
 
 class WallTimer {

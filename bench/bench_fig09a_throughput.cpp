@@ -36,11 +36,13 @@ int main(int argc, char** argv) {
   analysis::Table table{{"workers", "wall (s)", "Mpps", "producer stalls",
                          "max queue depth"}};
   std::vector<double> mpps;
+  telemetry::Registry registry;
   for (unsigned w = 1; w <= max_workers; ++w) {
     runtime::MultiCoreConfig config;
     config.workers = w;
     config.engine.regulator.l1_memory_bytes = 32 * 1024;
     config.engine.wsaf.log2_entries = 20;
+    config.registry = &registry;
     runtime::MultiCoreEngine engine{config};
     const auto stats = engine.run(trace);
     mpps.push_back(stats.mpps);
@@ -69,5 +71,6 @@ int main(int argc, char** argv) {
         "substitutions)\n",
         host_cores, max_workers);
   }
+  bench::print_metrics_json(registry);
   return 0;
 }

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   config.network_delay_ms = 20.0;
   config.engine.regulator.l1_memory_bytes = 32 * 1024;
   config.engine.wsaf.log2_entries = 18;
+  telemetry::Registry registry;
+  config.engine.registry = &registry;
 
   analysis::Table table{{"attack rate", "truth cross (ms)",
                          "saturation delay (ms)", "delegation delay (ms)"}};
@@ -77,5 +79,6 @@ int main(int argc, char** argv) {
   bench::shape_check(delegation_min > 10.0,
                      "delegation-based decoding pays >=10 ms (epoch + "
                      "network delay) regardless of rate");
+  bench::print_metrics_json(registry);
   return 0;
 }

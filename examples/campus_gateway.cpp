@@ -5,9 +5,12 @@
 //
 // Usage: ./examples/campus_gateway [--minutes=4] [--workers=2] [--scale=0.05]
 #include <cstdio>
+#include <string>
 
 #include "analysis/ground_truth.h"
 #include "runtime/multicore.h"
+#include "telemetry/export.h"
+#include "telemetry/reporter.h"
 #include "trace/generator.h"
 #include "util/cli.h"
 #include "util/format.h"
@@ -19,6 +22,8 @@ int main(int argc, char** argv) {
   const double minutes = args.get_double("minutes", 4);
   const auto workers = static_cast<unsigned>(args.get_int("workers", 2));
   const double scale = args.get_double("scale", 0.05);
+  const std::string metrics_path =
+      args.get("metrics", "campus_gateway_metrics.prom");
 
   std::printf("=== campus gateway monitor (%.0f compressed 'days') ===\n",
               4.0);
@@ -38,6 +43,15 @@ int main(int argc, char** argv) {
   config.engine.wsaf.idle_timeout_ns =
       static_cast<std::uint64_t>(minutes * 60.0 / 8.0 * 1e9);
   runtime::MultiCoreEngine engine{config};
+
+  // Scrape target: a reporter thread rewrites the Prometheus textfile every
+  // 250 ms while the replay runs, exactly like a node_exporter textfile
+  // collector deployment would consume it.
+  telemetry::ReporterConfig reporter_config;
+  reporter_config.interval = std::chrono::milliseconds{250};
+  reporter_config.path = metrics_path;
+  telemetry::SnapshotReporter reporter{engine.registry(), reporter_config};
+  reporter.start();
 
   // Replay an epoch at a time so we can emit the periodic report the
   // operators of the real deployment would watch.
@@ -99,5 +113,24 @@ int main(int argc, char** argv) {
               util::format_bytes(
                   engine.engine(0).wsaf().logical_memory_bytes())
                   .c_str());
+
+  // Final snapshot + excerpt of what a scraper sees.
+  reporter.stop();
+  if (telemetry::kEnabled) {
+    std::printf("\nmetrics: %llu snapshots written to %s; excerpt:\n",
+                static_cast<unsigned long long>(reporter.snapshots_written()),
+                metrics_path.c_str());
+    const auto text = telemetry::to_prometheus(engine.registry().snapshot());
+    std::size_t printed = 0, pos = 0;
+    while (pos < text.size() && printed < 12) {
+      const auto nl = text.find('\n', pos);
+      const auto line = text.substr(pos, nl - pos);
+      pos = nl == std::string::npos ? text.size() : nl + 1;
+      if (line.starts_with("im_runtime_") || line.starts_with("im_wsaf_")) {
+        std::printf("    %s\n", line.c_str());
+        ++printed;
+      }
+    }
+  }
   return 0;
 }

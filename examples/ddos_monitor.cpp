@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "analysis/latency.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "trace/generator.h"
 #include "util/cli.h"
 #include "util/format.h"
@@ -61,6 +63,10 @@ int main(int argc, char** argv) {
   config.network_delay_ms = 20.0;  // collector round trip
   config.engine.regulator.l1_memory_bytes = 32 * 1024;
   config.engine.wsaf.log2_entries = 18;
+  // The harness copies this config into its engine, so the registry sees
+  // every metric the online detector produced during the replay.
+  telemetry::Registry registry;
+  config.engine.registry = &registry;
 
   std::vector<netio::FlowKey> watched;
   for (const auto& a : attacks) watched.push_back(a.key);
@@ -81,6 +87,21 @@ int main(int argc, char** argv) {
                 util::format_bytes(static_cast<std::uint64_t>(
                                        std::max(0.0, saved_bytes)))
                     .c_str());
+  }
+
+  // The engine records first-seen-to-detection latency per detection; the
+  // registry histogram gives the distribution across every alarm raised.
+  const auto snapshot = registry.snapshot();
+  if (const auto* sample =
+          snapshot.find("im_engine_detection_latency_ns");
+      sample != nullptr && sample->histogram && sample->histogram->count > 0) {
+    const auto& h = *sample->histogram;
+    std::printf(
+        "\ndetection latency (flow first-seen -> alarm, %llu detections):\n"
+        "    p50 %.2f ms   p90 %.2f ms   p99 %.2f ms   max %.2f ms\n",
+        static_cast<unsigned long long>(h.count), h.quantile(0.50) / 1e6,
+        h.quantile(0.90) / 1e6, h.quantile(0.99) / 1e6,
+        static_cast<double>(h.max) / 1e6);
   }
 
   std::printf("\nThe online detector needs no collector round trip: the "

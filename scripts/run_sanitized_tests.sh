@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build with AddressSanitizer + UndefinedBehaviorSanitizer and run the
+# concurrency-sensitive test suites (telemetry registry, SPSC queue,
+# multi-core runtime). The telemetry fast path is wait-free single-writer
+# atomics — exactly the kind of code where a stray data race or UB hides
+# until a sanitizer shakes it out.
+#
+# Usage: scripts/run_sanitized_tests.sh [extra ctest -R regex]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build-sanitize}
+SANITIZE=${SANITIZE:-address,undefined}
+FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore"}
+
+cmake -B "$BUILD" -S . -DINSTAMEASURE_SANITIZE="$SANITIZE" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j --target \
+  test_telemetry test_spsc test_multicore >/dev/null
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+
+ctest --test-dir "$BUILD" -R "$FILTER" --output-on-failure -j "$(nproc)"
+echo "sanitized ($SANITIZE) test run passed"

@@ -7,6 +7,18 @@ FlowRegulator::FlowRegulator(const FlowRegulatorConfig& config)
       l1_(config.layer_config()),
       noise_min_(config.noise_min),
       last_len_(l1_.n_words(), 0) {
+  if (config.registry != nullptr) {
+    auto& reg = *config.registry;
+    tel_packets_ = reg.counter("im_regulator_packets_total",
+                               "Packets offered to the FlowRegulator",
+                               config.labels);
+    tel_l1_saturations_ =
+        reg.counter("im_regulator_l1_saturations_total",
+                    "Layer-1 virtual-vector saturations", config.labels);
+    tel_l2_saturations_ = reg.counter(
+        "im_regulator_l2_saturations_total",
+        "Layer-2 saturations (events forwarded to the WSAF)", config.labels);
+  }
   auto bank_config = config.layer_config();
   const unsigned banks = config.banks();
   l2_.reserve(banks);
@@ -22,17 +34,20 @@ FlowRegulator::FlowRegulator(const FlowRegulatorConfig& config)
 std::optional<SaturationEvent> FlowRegulator::offer(
     std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
   ++packets_;
+  tel_packets_.inc();
   const auto layout = l1_.layout_of(flow_hash);
   last_len_[layout.word_index] = wire_len;
 
   const auto l1_noise = l1_.encode(layout);
   if (!l1_noise) return std::nullopt;
   ++l1_saturations_;
+  tel_l1_saturations_.inc();
 
   auto& bank = l2_[*l1_noise - noise_min_];
   const auto l2_noise = bank.encode(layout);
   if (!l2_noise) return std::nullopt;
   ++l2_saturations_;
+  tel_l2_saturations_.inc();
 
   SaturationEvent event;
   // unit(u): packets per L1 saturation; unit(w): L1 saturations per L2

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sketch/rcc.h"
+#include "telemetry/metrics.h"
 
 namespace instameasure::core {
 
@@ -30,6 +31,10 @@ struct FlowRegulatorConfig {
   unsigned noise_min = 1;
   unsigned noise_max = 0;  ///< 0 = derive 3b/8 (3 banks for b = 8)
   std::uint64_t seed = 0x1237;
+  /// When set, packet/saturation counters are exported here (with `labels`
+  /// on every series). The regulator behaves identically without one.
+  telemetry::Registry* registry = nullptr;
+  telemetry::Labels labels{};
 
   [[nodiscard]] sketch::RccConfig layer_config() const noexcept {
     return sketch::RccConfig{l1_memory_bytes, vv_bits, noise_min, noise_max,
@@ -110,6 +115,12 @@ class FlowRegulator {
   std::uint64_t l1_saturations_ = 0;
   std::uint64_t l2_saturations_ = 0;
   double emitted_packet_estimate_ = 0;
+  // Telemetry mirrors of the counters above (single-writer cells; see
+  // telemetry/metrics.h). The plain members stay authoritative so the
+  // algorithm is unchanged when telemetry is compiled out.
+  telemetry::Counter tel_packets_;
+  telemetry::Counter tel_l1_saturations_;
+  telemetry::Counter tel_l2_saturations_;
 };
 
 }  // namespace instameasure::core

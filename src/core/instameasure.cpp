@@ -1,39 +1,126 @@
 #include "core/instameasure.h"
 
+#include <chrono>
+
 namespace instameasure::core {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t ns_between(SteadyClock::time_point a,
+                                       SteadyClock::time_point b) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// Push the engine's registry/labels down into the sub-structure configs so
+/// one assignment at the top instruments the whole stack.
+[[nodiscard]] EngineConfig propagated(EngineConfig config) {
+  if (config.registry != nullptr) {
+    if (config.regulator.registry == nullptr) {
+      config.regulator.registry = config.registry;
+      config.regulator.labels = config.labels;
+    }
+    if (config.wsaf.registry == nullptr) {
+      config.wsaf.registry = config.registry;
+      config.wsaf.labels = config.labels;
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
 InstaMeasure::InstaMeasure(const EngineConfig& config)
-    : config_(config), regulator_(config.regulator), wsaf_(config.wsaf) {
+    : config_(propagated(config)),
+      regulator_(config_.regulator),
+      wsaf_(config_.wsaf) {
   if (config.track_top_k > 0) tracker_.emplace(config.track_top_k);
+  sample_mask_ = config_.telemetry_sample_shift >= 64
+                     ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << config_.telemetry_sample_shift) - 1;
+  if (config_.registry != nullptr) {
+    auto& reg = *config_.registry;
+    tel_detections_ =
+        reg.counter("im_engine_detections_total",
+                    "Heavy-hitter detections raised", config_.labels);
+    tel_ips_pps_ratio_ = reg.gauge(
+        "im_engine_ips_pps_ratio",
+        "WSAF insertions per packet (the paper's ips/pps, ~0.01)",
+        config_.labels);
+    tel_reported_flows_ = reg.gauge(
+        "im_engine_reported_flows",
+        "Flows held in the already-reported heavy-hitter sets",
+        config_.labels);
+    tel_process_ns_ = reg.histogram(
+        "im_engine_process_ns",
+        "Per-packet process() wall time, sampled every 2^shift packets",
+        config_.labels);
+    tel_event_accumulate_ns_ = reg.histogram(
+        "im_engine_event_accumulate_ns",
+        "Saturation-event-to-WSAF-insert wall time", config_.labels);
+    tel_detection_latency_ns_ = reg.histogram(
+        "im_engine_detection_latency_ns",
+        "Trace time from a flow's WSAF first-seen to its detection",
+        config_.labels);
+  }
 }
 
 void InstaMeasure::process(const netio::PacketRecord& rec) {
+  const std::uint64_t seq = pkt_seq_++;
+  const bool sampled = telemetry::kEnabled && (seq & sample_mask_) == 0;
+  SteadyClock::time_point t0;
+  if (sampled) t0 = SteadyClock::now();
+
   const std::uint64_t flow_hash = rec.key.hash(config_.seed);
   const auto event = regulator_.offer(flow_hash, rec.wire_len);
-  if (!event) return;
-
-  const auto totals = wsaf_.accumulate(rec.key, flow_hash,
-                                       event->est_packets, event->est_bytes,
-                                       rec.timestamp_ns);
-  if (tracker_) tracker_->update(rec.key, flow_hash, totals.packets);
-  if (config_.heavy_hitter.packet_threshold > 0 ||
-      config_.heavy_hitter.byte_threshold > 0) {
-    check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
-                       rec.timestamp_ns);
+  if (event) {
+    SteadyClock::time_point e0;
+    if constexpr (telemetry::kEnabled) e0 = SteadyClock::now();
+    const auto totals = wsaf_.accumulate(rec.key, flow_hash,
+                                         event->est_packets, event->est_bytes,
+                                         rec.timestamp_ns);
+    if constexpr (telemetry::kEnabled) {
+      tel_event_accumulate_ns_.record(ns_between(e0, SteadyClock::now()));
+      // The ratio moves only when an insertion happens, so updating it on
+      // the (rare, ~1%) event path keeps the gauge live for free.
+      tel_ips_pps_ratio_.set(regulator_.regulation_rate());
+    }
+    if (tracker_) tracker_->update(rec.key, flow_hash, totals.packets);
+    if (config_.heavy_hitter.packet_threshold > 0 ||
+        config_.heavy_hitter.byte_threshold > 0) {
+      check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
+                         totals.first_seen_ns, rec.timestamp_ns);
+    }
   }
+
+  if (sampled) tel_process_ns_.record(ns_between(t0, SteadyClock::now()));
 }
 
 void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,
                                       std::uint64_t flow_hash, double packets,
-                                      double bytes, std::uint64_t now_ns) {
+                                      double bytes,
+                                      std::uint64_t first_seen_ns,
+                                      std::uint64_t now_ns) {
   const auto& hh = config_.heavy_hitter;
+  bool reported = false;
   if (hh.packet_threshold > 0 && packets >= hh.packet_threshold &&
       reported_pkt_.insert(flow_hash).second) {
     detections_.push_back({key, now_ns, packets, TopKMetric::kPackets});
+    tel_detections_.inc();
+    tel_detection_latency_ns_.record(now_ns - first_seen_ns);
+    reported = true;
   }
   if (hh.byte_threshold > 0 && bytes >= hh.byte_threshold &&
       reported_byte_.insert(flow_hash).second) {
     detections_.push_back({key, now_ns, bytes, TopKMetric::kBytes});
+    tel_detections_.inc();
+    tel_detection_latency_ns_.record(now_ns - first_seen_ns);
+    reported = true;
+  }
+  if (reported) {
+    tel_reported_flows_.set(static_cast<double>(reported_flows()));
   }
 }
 
@@ -51,13 +138,18 @@ InstaMeasure::FlowEstimate InstaMeasure::query(
   return est;
 }
 
+void InstaMeasure::clear_detections() {
+  detections_.clear();
+  reported_pkt_.clear();
+  reported_byte_.clear();
+  tel_reported_flows_.set(0);
+}
+
 void InstaMeasure::reset() {
   regulator_.reset();
   wsaf_.reset();
-  detections_.clear();
   if (tracker_) tracker_->reset();
-  reported_pkt_.clear();
-  reported_byte_.clear();
+  clear_detections();
 }
 
 }  // namespace instameasure::core

@@ -6,6 +6,15 @@ MultiLayerRegulator::MultiLayerRegulator(const MultiLayerConfig& config)
     : config_(config),
       levels_(config.levels()),
       noise_min_(config.noise_min) {
+  if (config.registry != nullptr) {
+    tel_packets_ = config.registry->counter(
+        "im_multilayer_packets_total",
+        "Packets offered to the MultiLayerRegulator", config.labels);
+    tel_emissions_ = config.registry->counter(
+        "im_multilayer_emissions_total",
+        "Final-layer saturations (events forwarded to the WSAF)",
+        config.labels);
+  }
   layer_offsets_.reserve(config.layers);
   std::size_t offset = 0, layer_banks = 1;
   auto bank_config = config.bank_config();
@@ -24,6 +33,7 @@ MultiLayerRegulator::MultiLayerRegulator(const MultiLayerConfig& config)
 std::optional<SaturationEvent> MultiLayerRegulator::offer(
     std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
   ++packets_;
+  tel_packets_.inc();
   const auto layout = banks_.front().layout_of(flow_hash);
   last_len_[layout.word_index] = wire_len;
 
@@ -38,6 +48,7 @@ std::optional<SaturationEvent> MultiLayerRegulator::offer(
   }
 
   ++emissions_;
+  tel_emissions_.inc();
   SaturationEvent event;
   event.est_packets = unit_product;
   event.est_bytes = unit_product * static_cast<double>(wire_len);

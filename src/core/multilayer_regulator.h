@@ -30,6 +30,9 @@ struct MultiLayerConfig {
   unsigned noise_min = 1;
   unsigned noise_max = 0;  ///< 0 = derive 3b/8
   std::uint64_t seed = 0x1237;
+  /// When set, packet/emission counters are exported here.
+  telemetry::Registry* registry = nullptr;
+  telemetry::Labels labels{};
 
   [[nodiscard]] sketch::RccConfig bank_config() const noexcept {
     return sketch::RccConfig{layer_memory_bytes, vv_bits, noise_min,
@@ -95,6 +98,8 @@ class MultiLayerRegulator {
   std::uint64_t packets_ = 0;
   std::uint64_t emissions_ = 0;
   double emitted_estimate_ = 0;
+  telemetry::Counter tel_packets_;    ///< mirror of packets_
+  telemetry::Counter tel_emissions_;  ///< mirror of emissions_
 };
 
 }  // namespace instameasure::core

@@ -10,7 +10,33 @@ namespace instameasure::core {
 WsafTable::WsafTable(const WsafConfig& config)
     : config_(config),
       mask_((std::uint64_t{1} << config.log2_entries) - 1),
-      slots_(config.entries()) {}
+      slots_(config.entries()) {
+  if (config.registry != nullptr) {
+    auto& reg = *config.registry;
+    tel_accumulates_ = reg.counter("im_wsaf_accumulates_total",
+                                   "Saturation events offered to the WSAF",
+                                   config.labels);
+    tel_inserts_ = reg.counter("im_wsaf_inserts_total",
+                               "New WSAF entries created", config.labels);
+    tel_updates_ = reg.counter("im_wsaf_updates_total",
+                               "Existing WSAF entries incremented",
+                               config.labels);
+    tel_evictions_ = reg.counter("im_wsaf_evictions_total",
+                                 "Second-chance/stalest replacements",
+                                 config.labels);
+    tel_gc_reclaims_ = reg.counter("im_wsaf_gc_reclaims_total",
+                                   "Idle entries reclaimed during probing",
+                                   config.labels);
+    tel_rejected_ = reg.counter("im_wsaf_rejected_total",
+                                "Insertions dropped (eviction disabled)",
+                                config.labels);
+    tel_occupancy_ = reg.gauge("im_wsaf_occupancy",
+                               "Live WSAF entries", config.labels);
+    tel_probe_length_ = reg.histogram(
+        "im_wsaf_probe_length", "Slots probed per accumulate() call",
+        config.labels);
+  }
+}
 
 WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
                                              std::uint64_t flow_hash,
@@ -18,6 +44,7 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
                                              double est_bytes,
                                              std::uint64_t now_ns) {
   ++stats_.accumulates;
+  tel_accumulates_.inc();
   const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
 
   std::size_t first_free = slots_.size();  // sentinel: none seen
@@ -37,6 +64,7 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
       if (first_free == slots_.size()) {
         first_free = s;
         ++stats_.gc_reclaims;
+        tel_gc_reclaims_.inc();
       }
       continue;
     }
@@ -46,9 +74,12 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
       e.last_update_ns = now_ns;
       e.referenced = true;
       ++stats_.updates;
-      return {e.packets, e.bytes};
+      tel_updates_.inc();
+      tel_probe_length_.record(i + 1);
+      return {e.packets, e.bytes, e.first_seen_ns};
     }
   }
+  tel_probe_length_.record(config_.probe_limit);
 
   if (first_free != slots_.size()) {
     WsafEntry& e = slots_[first_free];
@@ -58,13 +89,17 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
     e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
                   /*occupied=*/true, /*referenced=*/false};
     ++stats_.inserts;
-    return {e.packets, e.bytes};
+    tel_inserts_.inc();
+    tel_occupancy_.set(static_cast<double>(occupied_));
+    return {e.packets, e.bytes, e.first_seen_ns};
   }
 
   // Probe window full of live entries: replace per the configured policy.
   if (config_.eviction == EvictionPolicy::kNone) {
     ++stats_.rejected;
-    return {est_packets, est_bytes};  // dropped: caller sees only this event
+    tel_rejected_.inc();
+    return {est_packets, est_bytes,
+            now_ns};  // dropped: caller sees only this event
   }
 
   std::size_t victim = slots_.size();
@@ -92,7 +127,9 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
                 /*occupied=*/true, /*referenced=*/false};
   ++stats_.inserts;
   ++stats_.evictions;
-  return {e.packets, e.bytes};
+  tel_inserts_.inc();
+  tel_evictions_.inc();
+  return {e.packets, e.bytes, e.first_seen_ns};
 }
 
 std::optional<WsafEntry> WsafTable::lookup(
@@ -225,6 +262,9 @@ void WsafTable::reset() {
   std::fill(slots_.begin(), slots_.end(), WsafEntry{});
   occupied_ = 0;
   stats_ = WsafStats{};
+  // Telemetry counters stay monotone across resets (Prometheus semantics);
+  // only point-in-time gauges rewind.
+  tel_occupancy_.set(0);
 }
 
 }  // namespace instameasure::core

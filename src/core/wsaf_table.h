@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "netio/flow_key.h"
+#include "telemetry/metrics.h"
 
 namespace instameasure::core {
 
@@ -40,6 +41,10 @@ struct WsafConfig {
   /// probing — the paper's inline garbage collection. 0 disables.
   std::uint64_t idle_timeout_ns = 0;
   std::uint64_t seed = 0x3aff;
+  /// When set, table counters / occupancy / probe-length histogram are
+  /// exported here (with `labels` on every series).
+  telemetry::Registry* registry = nullptr;
+  telemetry::Labels labels{};
 
   [[nodiscard]] std::size_t entries() const noexcept {
     return std::size_t{1} << log2_entries;
@@ -86,6 +91,9 @@ class WsafTable {
   struct Accumulated {
     double packets = 0;
     double bytes = 0;
+    /// When the flow's live entry was created (== now_ns for fresh inserts).
+    /// Heavy-hitter detection latency is measured from this instant.
+    std::uint64_t first_seen_ns = 0;
   };
 
   /// Accumulate a saturation event for `key`. `flow_hash` must be
@@ -150,6 +158,16 @@ class WsafTable {
   std::vector<WsafEntry> slots_;
   std::size_t occupied_ = 0;
   WsafStats stats_;
+  // Telemetry mirrors of stats_ plus live occupancy and probe-length
+  // distribution (single-writer cells; stats_ stays authoritative).
+  telemetry::Counter tel_accumulates_;
+  telemetry::Counter tel_inserts_;
+  telemetry::Counter tel_updates_;
+  telemetry::Counter tel_evictions_;
+  telemetry::Counter tel_gc_reclaims_;
+  telemetry::Counter tel_rejected_;
+  telemetry::Gauge tel_occupancy_;
+  telemetry::Histogram tel_probe_length_;
 };
 
 }  // namespace instameasure::core

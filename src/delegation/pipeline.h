@@ -12,10 +12,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <chrono>
+
 #include "delegation/channel.h"
 #include "netio/flow_key.h"
 #include "netio/packet.h"
 #include "sketch/countmin.h"
+#include "telemetry/metrics.h"
 
 namespace instameasure::delegation {
 
@@ -26,6 +29,10 @@ struct PipelineConfig {
   /// Flows the collector alarms on when their cumulative estimate crosses
   /// this threshold (packets). 0 disables alarms.
   double packet_threshold = 0;
+  /// When set, exporter/collector counters and the collector decode-time
+  /// histogram are exported here (names im_delegation_*).
+  telemetry::Registry* registry = nullptr;
+  telemetry::Labels labels{};
 };
 
 /// Switch-side exporter: encodes packets into the current epoch's sketch
@@ -36,7 +43,16 @@ class Exporter {
       : config_(config),
         channel_(channel),
         epoch_ns_(static_cast<std::uint64_t>(config.epoch_ms * 1e6)),
-        current_(config.sketch) {}
+        current_(config.sketch) {
+    if (config.registry != nullptr) {
+      tel_epochs_ = config.registry->counter(
+          "im_delegation_epochs_total", "Epoch sketches flushed to the channel",
+          config.labels);
+      tel_channel_bytes_ = config.registry->counter(
+          "im_delegation_channel_bytes_total",
+          "Sketch bytes shipped over the delegation channel", config.labels);
+    }
+  }
 
   void offer(const netio::PacketRecord& rec) {
     roll_to(rec.timestamp_ns);
@@ -57,9 +73,11 @@ class Exporter {
 
   /// Force-flush the current epoch (end of measurement).
   void flush(std::uint64_t now_ns) {
+    tel_channel_bytes_.inc(current_.memory_bytes());
     (void)channel_->send(now_ns, current_);
     current_.reset();
     ++epochs_flushed_;
+    tel_epochs_.inc();
   }
 
   [[nodiscard]] std::uint64_t epochs_flushed() const noexcept {
@@ -74,6 +92,8 @@ class Exporter {
   bool started_ = false;
   std::uint64_t epoch_end_ = 0;
   std::uint64_t epochs_flushed_ = 0;
+  telemetry::Counter tel_epochs_;  ///< mirror of epochs_flushed_
+  telemetry::Counter tel_channel_bytes_;
 };
 
 /// Collector-side: merges delivered sketches and raises threshold alarms.
@@ -81,7 +101,18 @@ class Exporter {
 class Collector {
  public:
   explicit Collector(const PipelineConfig& config)
-      : config_(config), merged_(config.sketch) {}
+      : config_(config), merged_(config.sketch) {
+    if (config.registry != nullptr) {
+      tel_sketches_ = config.registry->counter(
+          "im_delegation_sketches_received_total",
+          "Epoch sketches the collector has merged", config.labels);
+      tel_decode_ns_ = config.registry->histogram(
+          "im_delegation_collector_decode_ns",
+          "Wall time to merge one delivered sketch and evaluate the watch "
+          "list (ns)",
+          config.labels);
+    }
+  }
 
   /// Ingest everything the channel delivered by `now_ns` and evaluate the
   /// watch list. Detection timestamps are the *delivery* times.
@@ -89,15 +120,25 @@ class Collector {
             std::uint64_t now_ns,
             const std::vector<netio::FlowKey>& watched) {
     for (auto& [deliver_ns, sketch] : channel.deliver_until(now_ns)) {
+      std::chrono::steady_clock::time_point t0;
+      if constexpr (telemetry::kEnabled) t0 = std::chrono::steady_clock::now();
       merged_.merge(sketch);
       ++sketches_received_;
-      if (config_.packet_threshold <= 0) continue;
-      for (const auto& key : watched) {
-        if (detections_.contains(key)) continue;
-        if (static_cast<double>(merged_.query(key.hash())) >=
-            config_.packet_threshold) {
-          detections_.emplace(key, deliver_ns);
+      tel_sketches_.inc();
+      if (config_.packet_threshold > 0) {
+        for (const auto& key : watched) {
+          if (detections_.contains(key)) continue;
+          if (static_cast<double>(merged_.query(key.hash())) >=
+              config_.packet_threshold) {
+            detections_.emplace(key, deliver_ns);
+          }
         }
+      }
+      if constexpr (telemetry::kEnabled) {
+        tel_decode_ns_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
       }
     }
   }
@@ -123,6 +164,8 @@ class Collector {
   std::unordered_map<netio::FlowKey, std::uint64_t, netio::FlowKeyHash>
       detections_;
   std::uint64_t sketches_received_ = 0;
+  telemetry::Counter tel_sketches_;  ///< mirror of sketches_received_
+  telemetry::Histogram tel_decode_ns_;
 };
 
 /// Convenience: run a whole trace through exporter -> channel -> collector

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "telemetry/metrics.h"
+
 namespace instameasure::memmodel {
 
 enum class MemoryKind { kTcam, kSram, kDram };
@@ -71,5 +73,30 @@ struct WsafBudget {
     return regulation_rate * pps <= max_ips(k);
   }
 };
+
+/// Publish the budget's feasibility envelope as gauges, one series per
+/// memory kind (label memory="TCAM"/"SRAM"/"DRAM"): im_memmodel_max_ips
+/// always, plus im_memmodel_max_regulation_rate when pps > 0. Lets a scrape
+/// compare the engine's live im_engine_ips_pps_ratio gauge against the
+/// regulation rate each memory technology can actually absorb.
+inline void publish(const WsafBudget& budget, telemetry::Registry& registry,
+                    double pps = 0) {
+  for (const auto kind :
+       {MemoryKind::kTcam, MemoryKind::kSram, MemoryKind::kDram}) {
+    const telemetry::Labels labels{{"memory", to_string(kind)}};
+    registry
+        .gauge("im_memmodel_max_ips",
+               "Maximum WSAF insertions/second the memory sustains", labels)
+        .set(budget.max_ips(kind));
+    if (pps > 0) {
+      registry
+          .gauge("im_memmodel_max_regulation_rate",
+                 "Highest ips/pps ratio the memory absorbs at the modeled "
+                 "packet rate",
+                 labels)
+          .set(budget.max_regulation_rate(kind, pps));
+    }
+  }
+}
 
 }  // namespace instameasure::memmodel

@@ -10,16 +10,48 @@ namespace instameasure::runtime {
 
 MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     : config_(config) {
+  if (config.registry != nullptr) {
+    registry_ = config.registry;
+  } else {
+    owned_registry_ = std::make_unique<telemetry::Registry>();
+    registry_ = owned_registry_.get();
+  }
   const unsigned n = std::max(1u, config.workers);
   engines_.reserve(n);
   for (unsigned w = 0; w < n; ++w) {
+    const telemetry::Labels worker_labels{{"worker", std::to_string(w)}};
     auto engine_config = config.engine;
     // Decorrelate the per-worker sketches; dispatch already partitions flows
     // so shards never see each other's traffic.
     engine_config.seed = config.engine.seed + w * 0x51ed270bULL;
     engine_config.regulator.seed = config.engine.regulator.seed + w;
+    engine_config.registry = registry_;
+    engine_config.labels = worker_labels;
     engines_.push_back(std::make_unique<core::InstaMeasure>(engine_config));
+
+    tel_worker_packets_.push_back(registry_->counter(
+        "im_runtime_worker_packets_total", "Packets processed by the worker",
+        worker_labels));
+    tel_busy_polls_.push_back(registry_->counter(
+        "im_runtime_worker_busy_polls_total",
+        "Worker poll loops that popped at least one packet", worker_labels));
+    tel_idle_polls_.push_back(registry_->counter(
+        "im_runtime_worker_idle_polls_total",
+        "Worker poll loops that found the queue empty", worker_labels));
+    tel_queue_depth_max_.push_back(registry_->gauge(
+        "im_runtime_queue_depth_max",
+        "Deepest SPSC queue backlog observed in the last run",
+        worker_labels));
   }
+  tel_producer_stalls_ = registry_->counter(
+      "im_runtime_producer_stalls_total",
+      "Dispatch retries because a worker queue was full");
+  tel_runs_ = registry_->counter("im_runtime_runs_total",
+                                 "Completed run() invocations");
+  tel_mpps_ = registry_->gauge("im_runtime_mpps",
+                               "Throughput of the last run (Mpackets/s)");
+  tel_wall_seconds_ = registry_->gauge("im_runtime_wall_seconds",
+                                       "Cumulative run() wall time");
 }
 
 MultiCoreEngine::~MultiCoreEngine() = default;
@@ -40,38 +72,62 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
   stats.max_queue_depth.assign(n, 0);
   stats.worker_busy_fraction.assign(n, 0);
 
+  // Counter baselines: run() may be called repeatedly while the registry
+  // counters stay cumulative, so per-run stats are deltas from here.
+  std::vector<std::uint64_t> packets0(n, 0), busy0(n, 0), idle0(n, 0);
+  for (unsigned w = 0; w < n; ++w) {
+    packets0[w] = tel_worker_packets_[w].value();
+    busy0[w] = tel_busy_polls_[w].value();
+    idle0[w] = tel_idle_polls_[w].value();
+  }
+  const std::uint64_t stalls0 = tel_producer_stalls_.value();
+  // Compiled-out fallback tallies (telemetry::kEnabled == false reads every
+  // counter as 0, so the deltas above would vanish).
+  std::vector<std::uint64_t> local_packets(n, 0), local_busy(n, 0),
+      local_idle(n, 0);
+  std::uint64_t local_stalls = 0;
+
   std::vector<std::thread> workers;
   workers.reserve(n);
-  std::vector<std::uint64_t> busy(n, 0), idle(n, 0);
 
   const auto start = std::chrono::steady_clock::now();
   for (unsigned w = 0; w < n; ++w) {
     workers.emplace_back([&, w] {
       auto& queue = *queues[w];
       auto& engine = *engines_[w];
-      std::uint64_t processed = 0;
+      auto& tel_packets = tel_worker_packets_[w];
+      auto& tel_busy = tel_busy_polls_[w];
+      auto& tel_idle = tel_idle_polls_[w];
       std::array<const netio::PacketRecord*, 64> burst;
       for (;;) {
         if (const auto n = queue.try_pop_burst(std::span{burst}); n != 0) {
           for (std::size_t i = 0; i < n; ++i) engine.process(*burst[i]);
-          processed += n;
-          busy[w] += n;
+          tel_packets.inc(n);
+          tel_busy.inc(n);
+          if constexpr (!telemetry::kEnabled) {
+            local_packets[w] += n;
+            local_busy[w] += n;
+          }
         } else if (done.load(std::memory_order_acquire)) {
           // done was stored (release) after the producer's last push, so
           // popping after observing it sees every remaining item: one final
           // drain pass is race-free.
           while (const auto tail = queue.try_pop_burst(std::span{burst})) {
             for (std::size_t i = 0; i < tail; ++i) engine.process(*burst[i]);
-            processed += tail;
-            busy[w] += tail;
+            tel_packets.inc(tail);
+            tel_busy.inc(tail);
+            if constexpr (!telemetry::kEnabled) {
+              local_packets[w] += tail;
+              local_busy[w] += tail;
+            }
           }
           break;
         } else {
-          ++idle[w];
+          tel_idle.inc();
+          if constexpr (!telemetry::kEnabled) ++local_idle[w];
           std::this_thread::yield();
         }
       }
-      stats.per_worker_packets[w] = processed;
     });
   }
 
@@ -93,10 +149,14 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     }
     const unsigned w = worker_of(rec.key);
     auto& queue = *queues[w];
-    stats.max_queue_depth[w] =
-        std::max(stats.max_queue_depth[w], queue.size_approx());
+    if (const auto depth = queue.size_approx();
+        depth > stats.max_queue_depth[w]) {
+      stats.max_queue_depth[w] = depth;
+      tel_queue_depth_max_[w].set(static_cast<double>(depth));
+    }
     while (!queue.try_push(&rec)) {
-      ++stats.producer_stalls;
+      tel_producer_stalls_.inc();
+      if constexpr (!telemetry::kEnabled) ++local_stalls;
       std::this_thread::yield();
     }
   }
@@ -108,11 +168,32 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
   stats.mpps = stats.wall_seconds > 0
                    ? static_cast<double>(stats.packets) / stats.wall_seconds / 1e6
                    : 0.0;
-  for (unsigned w = 0; w < n; ++w) {
-    const auto total = busy[w] + idle[w];
-    stats.worker_busy_fraction[w] =
-        total ? static_cast<double>(busy[w]) / static_cast<double>(total) : 0.0;
+  // Derive the per-run stats from the registry (counter deltas over the
+  // run); the compiled-out build substitutes the local tallies.
+  if constexpr (telemetry::kEnabled) {
+    stats.producer_stalls = tel_producer_stalls_.value() - stalls0;
+    for (unsigned w = 0; w < n; ++w) {
+      stats.per_worker_packets[w] = tel_worker_packets_[w].value() - packets0[w];
+      const auto busy = tel_busy_polls_[w].value() - busy0[w];
+      const auto idle = tel_idle_polls_[w].value() - idle0[w];
+      const auto total = busy + idle;
+      stats.worker_busy_fraction[w] =
+          total ? static_cast<double>(busy) / static_cast<double>(total) : 0.0;
+    }
+  } else {
+    stats.producer_stalls = local_stalls;
+    for (unsigned w = 0; w < n; ++w) {
+      stats.per_worker_packets[w] = local_packets[w];
+      const auto total = local_busy[w] + local_idle[w];
+      stats.worker_busy_fraction[w] =
+          total ? static_cast<double>(local_busy[w]) /
+                      static_cast<double>(total)
+                : 0.0;
+    }
   }
+  tel_runs_.inc();
+  tel_mpps_.set(stats.mpps);
+  tel_wall_seconds_.add(stats.wall_seconds);
   return stats;
 }
 

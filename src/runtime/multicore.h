@@ -16,6 +16,7 @@
 
 #include "core/instameasure.h"
 #include "runtime/spsc_queue.h"
+#include "telemetry/metrics.h"
 #include "trace/trace.h"
 
 namespace instameasure::runtime {
@@ -32,8 +33,16 @@ struct MultiCoreConfig {
   std::size_t queue_capacity = 1 << 14;
   DispatchPolicy dispatch = DispatchPolicy::kPopcount;
   core::EngineConfig engine{};  ///< per-worker; memory is per worker (×N total)
+  /// Registry every worker engine and the runtime export into (each series
+  /// labeled worker="N"). When null the engine owns a private registry,
+  /// reachable via registry(), so metrics are always available.
+  telemetry::Registry* registry = nullptr;
 };
 
+/// Per-run statistics. With telemetry compiled in these are deltas of the
+/// engine's registry counters over the run (the registry is the source of
+/// truth, live-updated while the run progresses); the compiled-out build
+/// falls back to thread-local tallies so the numbers survive either way.
 struct RunStats {
   double wall_seconds = 0;
   double mpps = 0;                       ///< packets / wall time
@@ -87,9 +96,27 @@ class MultiCoreEngine {
     return static_cast<unsigned>(engines_.size());
   }
 
+  /// The registry this engine exports into (the configured one, or the
+  /// internally-owned fallback). Scrape it live during run() — every
+  /// worker's counters update wait-free as packets flow.
+  [[nodiscard]] telemetry::Registry& registry() const noexcept {
+    return *registry_;
+  }
+
  private:
   MultiCoreConfig config_;
   std::vector<std::unique_ptr<core::InstaMeasure>> engines_;
+  std::unique_ptr<telemetry::Registry> owned_registry_;
+  telemetry::Registry* registry_ = nullptr;
+  // Runtime-level series, one handle per worker (single-writer cells).
+  std::vector<telemetry::Counter> tel_worker_packets_;
+  std::vector<telemetry::Counter> tel_busy_polls_;
+  std::vector<telemetry::Counter> tel_idle_polls_;
+  std::vector<telemetry::Gauge> tel_queue_depth_max_;
+  telemetry::Counter tel_producer_stalls_;
+  telemetry::Counter tel_runs_;
+  telemetry::Gauge tel_mpps_;
+  telemetry::Gauge tel_wall_seconds_;
 };
 
 }  // namespace instameasure::runtime

@@ -1,0 +1,80 @@
+#include "telemetry/reporter.h"
+
+#if !defined(INSTAMEASURE_TELEMETRY_DISABLED)
+
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/export.h"
+
+namespace instameasure::telemetry {
+
+SnapshotReporter::SnapshotReporter(const Registry& registry,
+                                   ReporterConfig config)
+    : registry_(registry), config_(std::move(config)) {}
+
+SnapshotReporter::~SnapshotReporter() { stop(); }
+
+void SnapshotReporter::start() {
+  std::lock_guard lock{mu_};
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread{[this] { run(); }};
+}
+
+void SnapshotReporter::stop() {
+  {
+    std::lock_guard lock{mu_};
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard lock{mu_};
+    running_ = false;
+  }
+  write_now();  // final snapshot: short runs still leave a complete record
+}
+
+void SnapshotReporter::write_now() {
+  std::lock_guard write_lock{write_mu_};
+  const auto snapshot = registry_.snapshot();
+  const std::string text = config_.format == ReporterConfig::Format::kJson
+                               ? to_json(snapshot)
+                               : to_prometheus(snapshot);
+  bool wrote = false;
+  if (config_.stream != nullptr) {
+    *config_.stream << text;
+    if (config_.format == ReporterConfig::Format::kJson) *config_.stream << "\n";
+    config_.stream->flush();
+    wrote = true;
+  } else if (!config_.path.empty()) {
+    std::ofstream out{config_.path, std::ios::trunc};
+    if (out) {
+      out << text;
+      if (config_.format == ReporterConfig::Format::kJson) out << "\n";
+      wrote = out.good();
+    }
+  }
+  // Count only successful writes: snapshots_written() == 0 is the caller's
+  // signal that the path never opened (e.g. missing directory).
+  if (wrote) ++written_;
+}
+
+void SnapshotReporter::run() {
+  std::unique_lock lock{mu_};
+  while (!stopping_) {
+    if (cv_.wait_for(lock, config_.interval, [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    write_now();
+    lock.lock();
+  }
+}
+
+}  // namespace instameasure::telemetry
+
+#endif  // !INSTAMEASURE_TELEMETRY_DISABLED
