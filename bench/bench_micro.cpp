@@ -6,8 +6,10 @@
 // show where those cycles go on the build host.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <span>
+#include <thread>
 
 #include "core/flow_regulator.h"
 #include "core/instameasure.h"
@@ -18,6 +20,7 @@
 #include "sketch/countmin.h"
 #include "sketch/csm.h"
 #include "sketch/rcc.h"
+#include "telemetry/trace.h"
 #include "util/rng.h"
 
 using namespace instameasure;
@@ -152,6 +155,37 @@ void BM_EngineProcessWithRegistry(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineProcessWithRegistry);
 
+// Fast path with a flight recorder ATTACHED but every kind masked off —
+// the hook cost a deployment pays for keeping the recorder armed (one
+// branch + one relaxed mask load per instrumented site). The acceptance
+// budget is <=3% over BM_EngineProcess; compare the Mpps counters.
+void BM_EngineProcessTraced(benchmark::State& state) {
+  telemetry::TraceConfig trace_config;
+  trace_config.kind_mask = 0;  // armed, sampling nothing
+  telemetry::TraceRecorder recorder{trace_config};
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 32 * 1024;
+  config.wsaf.log2_entries = 20;
+  config.trace = &recorder;
+  core::InstaMeasure engine{config};
+  util::SplitMix64 seeds{4};
+  std::array<netio::PacketRecord, 256> packets;
+  for (auto& p : packets) {
+    p.key = key_from(seeds());
+    p.wire_len = 500;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto& p = packets[++i & 255];
+    p.timestamp_ns = i;
+    engine.process(p);
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineProcessTraced);
+
 void BM_CountMinAdd(benchmark::State& state) {
   sketch::CountMinSketch cm{sketch::CountMinConfig{1 << 16, 4, 1}};
   std::uint64_t i = 0;
@@ -198,6 +232,42 @@ void BM_SpscBurstRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_SpscBurstRoundTrip);
+
+// Producer and consumer on separate threads hammering one queue — the
+// configuration whose throughput craters (multi-x) if the head/tail index
+// fields ever share a cache line. Pairs with the SpscQueueLayout test:
+// that asserts the layout, this measures what the layout buys.
+void BM_SpscCrossThread(benchmark::State& state) {
+  constexpr std::uint64_t kN = 1 << 20;
+  for (auto _ : state) {
+    runtime::SpscQueue<std::uint64_t> q{1024};
+    std::thread producer([&q] {
+      std::array<std::uint64_t, 32> burst{};
+      std::uint64_t next = 0;
+      while (next < kN) {
+        const auto m = std::min<std::uint64_t>(burst.size(), kN - next);
+        for (std::uint64_t i = 0; i < m; ++i) burst[i] = next + i;
+        std::uint64_t pushed = 0;
+        while (pushed < m) {
+          pushed += q.try_push_burst(std::span{
+              burst.data() + pushed, static_cast<std::size_t>(m - pushed)});
+        }
+        next += m;
+      }
+    });
+    std::array<std::uint64_t, 32> out{};
+    std::uint64_t popped = 0, sum = 0;
+    while (popped < kN) {
+      const auto n = q.try_pop_burst(std::span{out});
+      for (std::size_t i = 0; i < n; ++i) sum += out[i];
+      popped += n;
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_SpscCrossThread)->Unit(benchmark::kMillisecond);
 
 void BM_FrameEncode(benchmark::State& state) {
   const auto key = key_from(0x1234567890ULL);

@@ -9,12 +9,25 @@
 // alarm.
 //
 // Usage: ./examples/ddos_monitor [--attacks=4] [--threshold=500]
+//                                [--trace-out out.trace.json]
+//                                [--trace-spool out.imtrc]
+//
+// --trace-out attaches the flight recorder to the replay and writes
+// Chrome trace-event JSON on exit (open in https://ui.perfetto.dev to see
+// each attack's packet -> saturation -> WSAF -> alarm chain); --trace-spool
+// additionally keeps the raw binary spool for tools/trace_inspect.
+#include <bit>
 #include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "analysis/latency.h"
+#include "analysis/stage_latency.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "trace/generator.h"
 #include "util/cli.h"
 #include "util/format.h"
@@ -68,6 +81,24 @@ int main(int argc, char** argv) {
   telemetry::Registry registry;
   config.engine.registry = &registry;
 
+  // Optional flight recorder: one track (the replay is single-threaded),
+  // sized to hold every per-packet event so nothing drops.
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string trace_spool = args.get("trace-spool", "");
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  std::unique_ptr<telemetry::TraceCollector> collector;
+  if (!trace_out.empty() || !trace_spool.empty()) {
+    telemetry::TraceConfig trace_config;
+    trace_config.tracks = 1;
+    trace_config.ring_capacity = std::bit_ceil(trace.packets.size() * 2);
+    recorder = std::make_unique<telemetry::TraceRecorder>(trace_config);
+    collector = std::make_unique<telemetry::TraceCollector>(*recorder);
+    if (!trace_spool.empty() && !collector->open_spool(trace_spool)) {
+      std::fprintf(stderr, "warning: cannot open %s\n", trace_spool.c_str());
+    }
+    config.engine.trace = recorder.get();
+  }
+
   std::vector<netio::FlowKey> watched;
   for (const auto& a : attacks) watched.push_back(a.key);
   const auto rows = analysis::measure_detection_latency(trace, watched, config);
@@ -102,6 +133,39 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(h.count), h.quantile(0.50) / 1e6,
         h.quantile(0.90) / 1e6, h.quantile(0.99) / 1e6,
         static_cast<double>(h.max) / 1e6);
+  }
+
+  if (collector) {
+    collector->drain();
+    std::printf("\nflight recorder: %llu events (%llu dropped)\n",
+                static_cast<unsigned long long>(collector->events().size()),
+                static_cast<unsigned long long>(collector->dropped()));
+    if constexpr (!telemetry::kEnabled) {
+      std::printf("(telemetry compiled out: rebuild with "
+                  "-DINSTAMEASURE_ENABLE_TELEMETRY=ON to record traces)\n");
+    }
+    const auto report = analysis::attribute_stages(
+        std::span{collector->events()});
+    std::fputs(analysis::format_stage_report(report).c_str(), stdout);
+    if (!trace_out.empty()) {
+      // to_chrome_json works in both build flavors (the compiled-out
+      // collector just renders an empty-but-valid trace).
+      const auto json = telemetry::to_chrome_json(
+          std::span{collector->events()});
+      if (std::FILE* f = std::fopen(trace_out.c_str(), "wb")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote Chrome trace JSON to %s (open in "
+                    "https://ui.perfetto.dev)\n",
+                    trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      }
+    }
+    if (!trace_spool.empty()) {
+      std::printf("binary spool at %s (inspect with tools/trace_inspect)\n",
+                  trace_spool.c_str());
+    }
   }
 
   std::printf("\nThe online detector needs no collector round trip: the "

@@ -11,12 +11,12 @@ cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build-sanitize}
 SANITIZE=${SANITIZE:-address,undefined}
-FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore"}
+FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder"}
 
 cmake -B "$BUILD" -S . -DINSTAMEASURE_SANITIZE="$SANITIZE" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j --target \
-  test_telemetry test_spsc test_multicore >/dev/null
+  test_telemetry test_spsc test_multicore test_flight_recorder >/dev/null
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}

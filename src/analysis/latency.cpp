@@ -23,6 +23,10 @@ std::vector<FlowLatency> measure_detection_latency(
   pipeline_config.channel.delay_ms = config.network_delay_ms;
   pipeline_config.sketch = config.delegation_sketch;
   pipeline_config.packet_threshold = config.packet_threshold;
+  // Both halves of the harness run on the caller's thread, so the engine's
+  // trace track is single-writer-safe for the delegation events too.
+  pipeline_config.trace = config.engine.trace;
+  pipeline_config.trace_track = config.engine.trace_track;
   const auto delegation =
       delegation::run_pipeline(trace.packets, pipeline_config, watched);
 

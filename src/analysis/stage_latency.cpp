@@ -1,0 +1,177 @@
+#include "analysis/stage_latency.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace instameasure::analysis {
+
+namespace {
+
+using telemetry::TraceEvent;
+using telemetry::TraceEventKind;
+
+[[nodiscard]] StageQuantiles quantiles_of(std::string stage,
+                                          std::vector<double>& samples) {
+  StageQuantiles q;
+  q.stage = std::move(stage);
+  q.count = samples.size();
+  if (samples.empty()) return q;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double p) {
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
+  };
+  q.p50_ns = at(0.50);
+  q.p99_ns = at(0.99);
+  q.max_ns = samples.back();
+  return q;
+}
+
+/// ns pretty-printer: picks ns/us/ms so the table reads naturally.
+[[nodiscard]] std::string format_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%8.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%8.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%8.0f ns", ns);
+  }
+  return buf;
+}
+
+void append_row(std::string& out, const StageQuantiles& q) {
+  char head[64];
+  std::snprintf(head, sizeof head, "  %-22s %9zu ", q.stage.c_str(),
+                q.count);
+  out += head;
+  if (q.count == 0) {
+    out += "        (no samples)\n";
+    return;
+  }
+  out += format_ns(q.p50_ns);
+  out += ' ';
+  out += format_ns(q.p99_ns);
+  out += ' ';
+  out += format_ns(q.max_ns);
+  out += '\n';
+}
+
+}  // namespace
+
+StageReport attribute_stages(std::span<const TraceEvent> events) {
+  StageReport report;
+  report.events = events.size();
+
+  // Chains are per (track, flow): sort a copy of the indices by
+  // (track, ts) so each track replays in emission order even if the
+  // collector interleaved rings.
+  std::vector<std::uint32_t> order(events.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (events[a].track != events[b].track)
+      return events[a].track < events[b].track;
+    return events[a].ts_ns < events[b].ts_ns;
+  });
+
+  struct FlowState {
+    std::uint64_t packet_ns = 0;
+    std::uint64_t l1_ns = 0;
+    std::uint64_t l2_ns = 0;
+    std::uint64_t wsaf_ns = 0;
+  };
+  // Keyed by flow hash alone: a flow lives on exactly one track (dispatch
+  // is a pure function of the key), so no cross-track aliasing.
+  std::unordered_map<std::uint64_t, FlowState> flows;
+
+  std::vector<double> pkt_to_l1, l1_to_l2, l2_to_wsaf, wsaf_to_detect,
+      pkt_to_detect, detect_trace_ns, decode_ns;
+
+  const auto delta = [](std::uint64_t from, std::uint64_t to,
+                        std::vector<double>& into) {
+    if (from != 0 && to >= from) into.push_back(static_cast<double>(to - from));
+  };
+
+  for (const auto idx : order) {
+    const TraceEvent& e = events[idx];
+    switch (e.kind) {
+      case TraceEventKind::kPacket:
+        flows[e.flow_hash].packet_ns = e.ts_ns;
+        break;
+      case TraceEventKind::kL1Saturation: {
+        auto& f = flows[e.flow_hash];
+        delta(f.packet_ns, e.ts_ns, pkt_to_l1);
+        f.l1_ns = e.ts_ns;
+        break;
+      }
+      case TraceEventKind::kL2Saturation: {
+        auto& f = flows[e.flow_hash];
+        delta(f.l1_ns, e.ts_ns, l1_to_l2);
+        f.l2_ns = e.ts_ns;
+        break;
+      }
+      case TraceEventKind::kWsafInsert:
+      case TraceEventKind::kWsafUpdate: {
+        auto& f = flows[e.flow_hash];
+        delta(f.l2_ns, e.ts_ns, l2_to_wsaf);
+        f.wsaf_ns = e.ts_ns;
+        break;
+      }
+      case TraceEventKind::kDetection: {
+        ++report.detections;
+        auto& f = flows[e.flow_hash];
+        delta(f.wsaf_ns, e.ts_ns, wsaf_to_detect);
+        delta(f.packet_ns, e.ts_ns, pkt_to_detect);
+        detect_trace_ns.push_back(e.payload);
+        break;
+      }
+      case TraceEventKind::kEpochSeal:
+        ++report.epoch_seals;
+        break;
+      case TraceEventKind::kCollectorDecode:
+        decode_ns.push_back(e.payload);
+        break;
+      default:
+        break;
+    }
+  }
+
+  report.pipeline.push_back(quantiles_of("packet->l1_sat", pkt_to_l1));
+  report.pipeline.push_back(quantiles_of("l1_sat->l2_sat", l1_to_l2));
+  report.pipeline.push_back(quantiles_of("l2_sat->wsaf", l2_to_wsaf));
+  report.pipeline.push_back(quantiles_of("wsaf->detection", wsaf_to_detect));
+  report.pipeline.push_back(quantiles_of("packet->detection", pkt_to_detect));
+  report.detection_latency =
+      quantiles_of("first_seen->alarm", detect_trace_ns);
+  report.collector_decode = quantiles_of("collector decode", decode_ns);
+  return report;
+}
+
+std::string format_stage_report(const StageReport& report) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "=== stage attribution (%llu events, %llu detections) ===\n",
+                static_cast<unsigned long long>(report.events),
+                static_cast<unsigned long long>(report.detections));
+  out += buf;
+
+  out +=
+      "per-stage wall-clock cost inside one process() chain:\n"
+      "  stage                      count       p50         p99         max\n";
+  for (const auto& q : report.pipeline) append_row(out, q);
+
+  out += "saturation-based detection (trace clock, the paper's delay):\n";
+  append_row(out, report.detection_latency);
+
+  std::snprintf(buf, sizeof buf,
+                "delegation pipeline (%llu epoch seals):\n",
+                static_cast<unsigned long long>(report.epoch_seals));
+  out += buf;
+  append_row(out, report.collector_decode);
+  return out;
+}
+
+}  // namespace instameasure::analysis

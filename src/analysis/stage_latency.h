@@ -1,0 +1,64 @@
+// Stage attribution over flight-recorder traces (telemetry/trace.h).
+//
+// The paper's headline claim is *instant* detection: saturation-based
+// decoding flags heavy hitters in milliseconds while delegation decoding
+// waits out epoch + network delay (Figs 9b, 13). The flight recorder lets
+// us verify that end-to-end AND attribute where the wall-clock goes inside
+// the pipeline: every packet's chain
+//   packet -> l1_sat -> l2_sat -> wsaf insert/update -> detection
+// lands on one worker track with one steady-clock timebase, so the deltas
+// between adjacent chain events are exact per-stage costs. This module
+// decomposes them and reports p50/p99/max per stage, plus the trace-clock
+// detection latency (carried in kDetection.payload) and the delegation
+// pipeline's collector decode cost — the saturation-vs-delegation contrast
+// from real traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace instameasure::analysis {
+
+/// Quantiles of one stage's sample set. Values are nanoseconds (wall or
+/// trace clock; see the stage name).
+struct StageQuantiles {
+  std::string stage;
+  std::size_t count = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+};
+
+struct StageReport {
+  /// Wall-clock per-stage pipeline decomposition, in pipeline order:
+  /// packet->l1_sat (retention flush), l1_sat->l2_sat (regulator),
+  /// l2_sat->wsaf (table), wsaf->detection (decode/report), and the total
+  /// packet->detection span.
+  std::vector<StageQuantiles> pipeline;
+  /// Trace-clock first-seen-to-alarm latency of saturation-mode
+  /// detections (kDetection.payload) — the paper's detection delay.
+  StageQuantiles detection_latency;
+  /// Wall-clock collector decode cost per delivered sketch
+  /// (kCollectorDecode.payload) — the delegation side of the comparison.
+  StageQuantiles collector_decode;
+
+  std::uint64_t events = 0;       ///< events analyzed
+  std::uint64_t detections = 0;   ///< kDetection events seen
+  std::uint64_t epoch_seals = 0;  ///< kEpochSeal events seen
+};
+
+/// Decompose per-stage latencies from a drained (or spool-loaded) event
+/// set. Events may be unsorted and interleaved across tracks; chains are
+/// matched per (track, flow_hash) in timestamp order.
+[[nodiscard]] StageReport attribute_stages(
+    std::span<const telemetry::TraceEvent> events);
+
+/// Human-readable report table (the Fig 13-style saturation-vs-delegation
+/// summary `trace_inspect` prints).
+[[nodiscard]] std::string format_stage_report(const StageReport& report);
+
+}  // namespace instameasure::analysis

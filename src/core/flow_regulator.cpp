@@ -6,7 +6,9 @@ FlowRegulator::FlowRegulator(const FlowRegulatorConfig& config)
     : config_(config),
       l1_(config.layer_config()),
       noise_min_(config.noise_min),
-      last_len_(l1_.n_words(), 0) {
+      last_len_(l1_.n_words(), 0),
+      trace_(config.trace),
+      trace_track_(config.trace_track) {
   if (config.registry != nullptr) {
     auto& reg = *config.registry;
     tel_packets_ = reg.counter("im_regulator_packets_total",
@@ -42,6 +44,12 @@ std::optional<SaturationEvent> FlowRegulator::offer(
   if (!l1_noise) return std::nullopt;
   ++l1_saturations_;
   tel_l1_saturations_.inc();
+  if constexpr (telemetry::kEnabled) {
+    if (trace_) {
+      trace_->emit(trace_track_, telemetry::TraceEventKind::kL1Saturation,
+                   flow_hash, static_cast<double>(*l1_noise));
+    }
+  }
 
   auto& bank = l2_[*l1_noise - noise_min_];
   const auto l2_noise = bank.encode(layout);
@@ -55,6 +63,12 @@ std::optional<SaturationEvent> FlowRegulator::offer(
   event.est_packets = l1_.unit(*l1_noise) * bank.unit(*l2_noise);
   event.est_bytes = event.est_packets * static_cast<double>(wire_len);
   emitted_packet_estimate_ += event.est_packets;
+  if constexpr (telemetry::kEnabled) {
+    if (trace_) {
+      trace_->emit(trace_track_, telemetry::TraceEventKind::kL2Saturation,
+                   flow_hash, event.est_packets, *l2_noise);
+    }
+  }
   return event;
 }
 

@@ -19,6 +19,7 @@
 
 #include "sketch/rcc.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace instameasure::core {
 
@@ -35,6 +36,10 @@ struct FlowRegulatorConfig {
   /// on every series). The regulator behaves identically without one.
   telemetry::Registry* registry = nullptr;
   telemetry::Labels labels{};
+  /// When set, L1/L2 saturations are recorded as flight-recorder events on
+  /// `trace_track` (the owning worker's ring; see telemetry/trace.h).
+  telemetry::TraceRecorder* trace = nullptr;
+  unsigned trace_track = 0;
 
   [[nodiscard]] sketch::RccConfig layer_config() const noexcept {
     return sketch::RccConfig{l1_memory_bytes, vv_bits, noise_min, noise_max,
@@ -121,6 +126,8 @@ class FlowRegulator {
   telemetry::Counter tel_packets_;
   telemetry::Counter tel_l1_saturations_;
   telemetry::Counter tel_l2_saturations_;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  unsigned trace_track_ = 0;
 };
 
 }  // namespace instameasure::core

@@ -14,8 +14,9 @@ using SteadyClock = std::chrono::steady_clock;
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
 }
 
-/// Push the engine's registry/labels down into the sub-structure configs so
-/// one assignment at the top instruments the whole stack.
+/// Push the engine's registry/labels (and flight recorder) down into the
+/// sub-structure configs so one assignment at the top instruments the
+/// whole stack.
 [[nodiscard]] EngineConfig propagated(EngineConfig config) {
   if (config.registry != nullptr) {
     if (config.regulator.registry == nullptr) {
@@ -27,6 +28,16 @@ using SteadyClock = std::chrono::steady_clock;
       config.wsaf.labels = config.labels;
     }
   }
+  if (config.trace != nullptr) {
+    if (config.regulator.trace == nullptr) {
+      config.regulator.trace = config.trace;
+      config.regulator.trace_track = config.trace_track;
+    }
+    if (config.wsaf.trace == nullptr) {
+      config.wsaf.trace = config.trace;
+      config.wsaf.trace_track = config.trace_track;
+    }
+  }
   return config;
 }
 
@@ -35,7 +46,9 @@ using SteadyClock = std::chrono::steady_clock;
 InstaMeasure::InstaMeasure(const EngineConfig& config)
     : config_(propagated(config)),
       regulator_(config_.regulator),
-      wsaf_(config_.wsaf) {
+      wsaf_(config_.wsaf),
+      trace_(config_.trace),
+      trace_track_(config_.trace_track) {
   if (config.track_top_k > 0) tracker_.emplace(config.track_top_k);
   sample_mask_ = config_.telemetry_sample_shift >= 64
                      ? ~std::uint64_t{0}
@@ -74,6 +87,12 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
   if (sampled) t0 = SteadyClock::now();
 
   const std::uint64_t flow_hash = rec.key.hash(config_.seed);
+  if constexpr (telemetry::kEnabled) {
+    if (trace_) {
+      trace_->emit(trace_track_, telemetry::TraceEventKind::kPacket,
+                   flow_hash, static_cast<double>(rec.wire_len));
+    }
+  }
   const auto event = regulator_.offer(flow_hash, rec.wire_len);
   if (event) {
     SteadyClock::time_point e0;
@@ -110,6 +129,15 @@ void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,
     detections_.push_back({key, now_ns, packets, TopKMetric::kPackets});
     tel_detections_.inc();
     tel_detection_latency_ns_.record(now_ns - first_seen_ns);
+    if constexpr (telemetry::kEnabled) {
+      if (trace_) {
+        // payload = trace-clock first-seen-to-alarm latency, so the stage
+        // report reads the paper's detection delay straight off the event.
+        trace_->emit(trace_track_, telemetry::TraceEventKind::kDetection,
+                     flow_hash, static_cast<double>(now_ns - first_seen_ns),
+                     static_cast<std::uint32_t>(TopKMetric::kPackets));
+      }
+    }
     reported = true;
   }
   if (hh.byte_threshold > 0 && bytes >= hh.byte_threshold &&
@@ -117,6 +145,13 @@ void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,
     detections_.push_back({key, now_ns, bytes, TopKMetric::kBytes});
     tel_detections_.inc();
     tel_detection_latency_ns_.record(now_ns - first_seen_ns);
+    if constexpr (telemetry::kEnabled) {
+      if (trace_) {
+        trace_->emit(trace_track_, telemetry::TraceEventKind::kDetection,
+                     flow_hash, static_cast<double>(now_ns - first_seen_ns),
+                     static_cast<std::uint32_t>(TopKMetric::kBytes));
+      }
+    }
     reported = true;
   }
   if (reported) {

@@ -50,6 +50,12 @@ struct EngineConfig {
   /// series tagged with `labels` (MultiCoreEngine adds worker="N").
   telemetry::Registry* registry = nullptr;
   telemetry::Labels labels{};
+  /// When set, per-stage flight-recorder events (packet, saturations, WSAF
+  /// outcomes, detections) are recorded on `trace_track` — the engine's
+  /// writer-thread ring; MultiCoreEngine assigns track = worker index.
+  /// Propagates into the regulator and WSAF configs like `registry`.
+  telemetry::TraceRecorder* trace = nullptr;
+  unsigned trace_track = 0;
   /// Per-packet process-time histogram sampling: every 2^shift-th packet is
   /// timed (steady_clock), amortizing the clock cost to <0.2 ns/packet at
   /// the default 1/256. Only meaningful when telemetry is compiled in.
@@ -141,6 +147,8 @@ class InstaMeasure {
   telemetry::Histogram tel_process_ns_;           ///< sampled, wall time
   telemetry::Histogram tel_event_accumulate_ns_;  ///< wall time per event
   telemetry::Histogram tel_detection_latency_ns_; ///< trace time to detect
+  telemetry::TraceRecorder* trace_ = nullptr;
+  unsigned trace_track_ = 0;
 };
 
 }  // namespace instameasure::core

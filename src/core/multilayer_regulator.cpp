@@ -5,7 +5,9 @@ namespace instameasure::core {
 MultiLayerRegulator::MultiLayerRegulator(const MultiLayerConfig& config)
     : config_(config),
       levels_(config.levels()),
-      noise_min_(config.noise_min) {
+      noise_min_(config.noise_min),
+      trace_(config.trace),
+      trace_track_(config.trace_track) {
   if (config.registry != nullptr) {
     tel_packets_ = config.registry->counter(
         "im_multilayer_packets_total",
@@ -45,6 +47,14 @@ std::optional<SaturationEvent> MultiLayerRegulator::offer(
     if (!noise) return std::nullopt;
     unit_product *= bank.unit(*noise);
     path = path * levels_ + (*noise - noise_min_);
+    if constexpr (telemetry::kEnabled) {
+      // Intermediate layers map to kL1Saturation (aux = layer index); the
+      // final layer's event is the kL2Saturation emitted below.
+      if (trace_ && l + 1 < config_.layers) {
+        trace_->emit(trace_track_, telemetry::TraceEventKind::kL1Saturation,
+                     flow_hash, static_cast<double>(*noise), l);
+      }
+    }
   }
 
   ++emissions_;
@@ -53,6 +63,12 @@ std::optional<SaturationEvent> MultiLayerRegulator::offer(
   event.est_packets = unit_product;
   event.est_bytes = unit_product * static_cast<double>(wire_len);
   emitted_estimate_ += unit_product;
+  if constexpr (telemetry::kEnabled) {
+    if (trace_) {
+      trace_->emit(trace_track_, telemetry::TraceEventKind::kL2Saturation,
+                   flow_hash, event.est_packets, config_.layers);
+    }
+  }
   return event;
 }
 

@@ -33,6 +33,11 @@ struct MultiLayerConfig {
   /// When set, packet/emission counters are exported here.
   telemetry::Registry* registry = nullptr;
   telemetry::Labels labels{};
+  /// When set, intermediate-layer saturations (kL1Saturation, aux=layer)
+  /// and final-layer emissions (kL2Saturation) are flight-recorded on
+  /// `trace_track`.
+  telemetry::TraceRecorder* trace = nullptr;
+  unsigned trace_track = 0;
 
   [[nodiscard]] sketch::RccConfig bank_config() const noexcept {
     return sketch::RccConfig{layer_memory_bytes, vv_bits, noise_min,
@@ -100,6 +105,8 @@ class MultiLayerRegulator {
   double emitted_estimate_ = 0;
   telemetry::Counter tel_packets_;    ///< mirror of packets_
   telemetry::Counter tel_emissions_;  ///< mirror of emissions_
+  telemetry::TraceRecorder* trace_ = nullptr;
+  unsigned trace_track_ = 0;
 };
 
 }  // namespace instameasure::core

@@ -7,10 +7,30 @@
 
 namespace instameasure::core {
 
+namespace {
+
+/// Trace hook shared by every accumulate() outcome: one branch when no
+/// recorder is attached, compiled out entirely in the OFF flavor.
+inline void trace_wsaf(telemetry::TraceRecorder* trace, unsigned track,
+                       telemetry::TraceEventKind kind,
+                       std::uint64_t flow_hash, double payload,
+                       std::uint32_t aux) noexcept {
+  if constexpr (telemetry::kEnabled) {
+    if (trace != nullptr) trace->emit(track, kind, flow_hash, payload, aux);
+  } else {
+    (void)trace; (void)track; (void)kind;
+    (void)flow_hash; (void)payload; (void)aux;
+  }
+}
+
+}  // namespace
+
 WsafTable::WsafTable(const WsafConfig& config)
     : config_(config),
       mask_((std::uint64_t{1} << config.log2_entries) - 1),
-      slots_(config.entries()) {
+      slots_(config.entries()),
+      trace_(config.trace),
+      trace_track_(config.trace_track) {
   if (config.registry != nullptr) {
     auto& reg = *config.registry;
     tel_accumulates_ = reg.counter("im_wsaf_accumulates_total",
@@ -65,6 +85,9 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
         first_free = s;
         ++stats_.gc_reclaims;
         tel_gc_reclaims_.inc();
+        trace_wsaf(trace_, trace_track_,
+                   telemetry::TraceEventKind::kWsafGcReclaim, flow_hash,
+                   e.packets, i);
       }
       continue;
     }
@@ -76,6 +99,8 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
       ++stats_.updates;
       tel_updates_.inc();
       tel_probe_length_.record(i + 1);
+      trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafUpdate,
+                 flow_hash, e.packets, i + 1);
       return {e.packets, e.bytes, e.first_seen_ns};
     }
   }
@@ -91,6 +116,8 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
     ++stats_.inserts;
     tel_inserts_.inc();
     tel_occupancy_.set(static_cast<double>(occupied_));
+    trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafInsert,
+               flow_hash, e.packets, 0);
     return {e.packets, e.bytes, e.first_seen_ns};
   }
 
@@ -98,6 +125,8 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
   if (config_.eviction == EvictionPolicy::kNone) {
     ++stats_.rejected;
     tel_rejected_.inc();
+    trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafReject,
+               flow_hash, est_packets, 0);
     return {est_packets, est_bytes,
             now_ns};  // dropped: caller sees only this event
   }
@@ -123,12 +152,16 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
   if (victim == slots_.size()) victim = stalest;
 
   WsafEntry& e = slots_[victim];
+  trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafEvict,
+             flow_hash, e.packets, 0);
   e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
                 /*occupied=*/true, /*referenced=*/false};
   ++stats_.inserts;
   ++stats_.evictions;
   tel_inserts_.inc();
   tel_evictions_.inc();
+  trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafInsert,
+             flow_hash, e.packets, 1);
   return {e.packets, e.bytes, e.first_seen_ns};
 }
 

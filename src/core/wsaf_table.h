@@ -23,6 +23,7 @@
 
 #include "netio/flow_key.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace instameasure::core {
 
@@ -45,6 +46,10 @@ struct WsafConfig {
   /// exported here (with `labels` on every series).
   telemetry::Registry* registry = nullptr;
   telemetry::Labels labels{};
+  /// When set, insert/update/evict/gc/reject outcomes are recorded as
+  /// flight-recorder events on `trace_track`.
+  telemetry::TraceRecorder* trace = nullptr;
+  unsigned trace_track = 0;
 
   [[nodiscard]] std::size_t entries() const noexcept {
     return std::size_t{1} << log2_entries;
@@ -168,6 +173,8 @@ class WsafTable {
   telemetry::Counter tel_rejected_;
   telemetry::Gauge tel_occupancy_;
   telemetry::Histogram tel_probe_length_;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  unsigned trace_track_ = 0;
 };
 
 }  // namespace instameasure::core

@@ -19,6 +19,7 @@
 #include "netio/packet.h"
 #include "sketch/countmin.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace instameasure::delegation {
 
@@ -33,6 +34,10 @@ struct PipelineConfig {
   /// histogram are exported here (names im_delegation_*).
   telemetry::Registry* registry = nullptr;
   telemetry::Labels labels{};
+  /// When set, epoch seals (kEpochSeal) and collector decodes
+  /// (kCollectorDecode) are flight-recorded on `trace_track`.
+  telemetry::TraceRecorder* trace = nullptr;
+  unsigned trace_track = 0;
 };
 
 /// Switch-side exporter: encodes packets into the current epoch's sketch
@@ -78,6 +83,14 @@ class Exporter {
     current_.reset();
     ++epochs_flushed_;
     tel_epochs_.inc();
+    if constexpr (telemetry::kEnabled) {
+      if (config_.trace != nullptr) {
+        config_.trace->emit(config_.trace_track,
+                            telemetry::TraceEventKind::kEpochSeal, 0,
+                            static_cast<double>(current_.memory_bytes()),
+                            static_cast<std::uint32_t>(epochs_flushed_));
+      }
+    }
   }
 
   [[nodiscard]] std::uint64_t epochs_flushed() const noexcept {
@@ -135,10 +148,17 @@ class Collector {
         }
       }
       if constexpr (telemetry::kEnabled) {
-        tel_decode_ns_.record(static_cast<std::uint64_t>(
+        const auto decode_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t0)
-                .count()));
+                .count());
+        tel_decode_ns_.record(decode_ns);
+        if (config_.trace != nullptr) {
+          config_.trace->emit(config_.trace_track,
+                              telemetry::TraceEventKind::kCollectorDecode, 0,
+                              static_cast<double>(decode_ns),
+                              static_cast<std::uint32_t>(sketches_received_));
+        }
       }
     }
   }

@@ -27,6 +27,8 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     engine_config.regulator.seed = config.engine.regulator.seed + w;
     engine_config.registry = registry_;
     engine_config.labels = worker_labels;
+    engine_config.trace = config.trace;
+    engine_config.trace_track = w;
     engines_.push_back(std::make_unique<core::InstaMeasure>(engine_config));
 
     tel_worker_packets_.push_back(registry_->counter(
@@ -99,9 +101,27 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
       auto& tel_busy = tel_busy_polls_[w];
       auto& tel_idle = tel_idle_polls_[w];
       std::array<const netio::PacketRecord*, 64> burst;
+      telemetry::TraceRecorder* const trace = config_.trace;
+      const auto process_burst = [&](std::size_t n) {
+        // Batch begin/end give Perfetto a duration slice per burst; the
+        // per-packet events the engine emits nest inside it.
+        if constexpr (telemetry::kEnabled) {
+          if (trace) {
+            trace->emit(w, telemetry::TraceEventKind::kBatchBegin, 0,
+                        static_cast<double>(n));
+          }
+        }
+        for (std::size_t i = 0; i < n; ++i) engine.process(*burst[i]);
+        if constexpr (telemetry::kEnabled) {
+          if (trace) {
+            trace->emit(w, telemetry::TraceEventKind::kBatchEnd, 0,
+                        static_cast<double>(n));
+          }
+        }
+      };
       for (;;) {
         if (const auto n = queue.try_pop_burst(std::span{burst}); n != 0) {
-          for (std::size_t i = 0; i < n; ++i) engine.process(*burst[i]);
+          process_burst(n);
           tel_packets.inc(n);
           tel_busy.inc(n);
           if constexpr (!telemetry::kEnabled) {
@@ -113,7 +133,7 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
           // popping after observing it sees every remaining item: one final
           // drain pass is race-free.
           while (const auto tail = queue.try_pop_burst(std::span{burst})) {
-            for (std::size_t i = 0; i < tail; ++i) engine.process(*burst[i]);
+            process_burst(tail);
             tel_packets.inc(tail);
             tel_busy.inc(tail);
             if constexpr (!telemetry::kEnabled) {
@@ -156,7 +176,15 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     }
     while (!queue.try_push(&rec)) {
       tel_producer_stalls_.inc();
-      if constexpr (!telemetry::kEnabled) ++local_stalls;
+      if constexpr (telemetry::kEnabled) {
+        // Manager's own track (index = workers); aux says which queue.
+        if (config_.trace) {
+          config_.trace->emit(n, telemetry::TraceEventKind::kQueueStall, 0,
+                              static_cast<double>(queue.size_approx()), w);
+        }
+      } else {
+        ++local_stalls;
+      }
       std::this_thread::yield();
     }
   }

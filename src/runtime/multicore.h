@@ -37,6 +37,11 @@ struct MultiCoreConfig {
   /// labeled worker="N"). When null the engine owns a private registry,
   /// reachable via registry(), so metrics are always available.
   telemetry::Registry* registry = nullptr;
+  /// Flight recorder shared by every worker. Track w is worker w's ring and
+  /// track `workers` is the manager's, so size the recorder with
+  /// tracks >= workers + 1 — workers whose track does not exist trace
+  /// nothing (out-of-range emits are counted dropped, never racy).
+  telemetry::TraceRecorder* trace = nullptr;
 };
 
 /// Per-run statistics. With telemetry compiled in these are deltas of the

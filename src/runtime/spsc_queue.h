@@ -102,12 +102,44 @@ class SpscQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
  private:
+  friend struct SpscQueueTestPeer;  // layout regression test (test_spsc)
+
   const std::size_t mask_;
   std::vector<T> slots_;
+  // Producer-written and consumer-written fields live on separate cache
+  // lines (verified by the SpscQueueLayout test): head_/tail_cache_ are the
+  // consumer's line, tail_/head_cache_ the producer's. Collapsing them onto
+  // one line would not be a correctness bug — just a silent multi-×
+  // throughput loss from false sharing.
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};
   alignas(kCacheLine) std::size_t tail_cache_ = 0;  // consumer-local
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
   alignas(kCacheLine) std::size_t head_cache_ = 0;  // producer-local
+};
+
+/// Test-only window into the queue's field layout, so tests can assert the
+/// producer/consumer cache-line separation without befriending each test.
+struct SpscQueueTestPeer {
+  template <typename T>
+  [[nodiscard]] static std::ptrdiff_t head_offset(const SpscQueue<T>& q) {
+    return reinterpret_cast<const char*>(&q.head_) -
+           reinterpret_cast<const char*>(&q);
+  }
+  template <typename T>
+  [[nodiscard]] static std::ptrdiff_t tail_cache_offset(const SpscQueue<T>& q) {
+    return reinterpret_cast<const char*>(&q.tail_cache_) -
+           reinterpret_cast<const char*>(&q);
+  }
+  template <typename T>
+  [[nodiscard]] static std::ptrdiff_t tail_offset(const SpscQueue<T>& q) {
+    return reinterpret_cast<const char*>(&q.tail_) -
+           reinterpret_cast<const char*>(&q);
+  }
+  template <typename T>
+  [[nodiscard]] static std::ptrdiff_t head_cache_offset(const SpscQueue<T>& q) {
+    return reinterpret_cast<const char*>(&q.head_cache_) -
+           reinterpret_cast<const char*>(&q);
+  }
 };
 
 }  // namespace instameasure::runtime

@@ -24,17 +24,20 @@ void SnapshotReporter::start() {
 }
 
 void SnapshotReporter::stop() {
+  // Claim the thread handle under the lock so concurrent stop() calls (or
+  // stop() racing the destructor) cannot both join it; the CV wakes the
+  // tick thread immediately, so stop() returns in wake-up time, not in
+  // `interval` time, no matter how long the interval is.
+  std::thread worker;
   {
     std::lock_guard lock{mu_};
     if (!running_) return;
     stopping_ = true;
+    running_ = false;
+    worker = std::move(thread_);
   }
   cv_.notify_all();
-  thread_.join();
-  {
-    std::lock_guard lock{mu_};
-    running_ = false;
-  }
+  if (worker.joinable()) worker.join();
   write_now();  // final snapshot: short runs still leave a complete record
 }
 

@@ -43,7 +43,9 @@ class SnapshotReporter {
 
   /// Begin periodic reporting (no-op if already running).
   void start();
-  /// Stop the thread and write one final snapshot. Idempotent.
+  /// Stop the thread and write one final snapshot. Idempotent and safe to
+  /// call concurrently; returns as soon as the tick thread wakes — never
+  /// waits out `interval`.
   void stop();
   /// Render and write a snapshot right now (also usable without start()).
   void write_now();

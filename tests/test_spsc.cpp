@@ -122,6 +122,30 @@ TEST(SpscQueue, BurstTwoThreadStress) {
   EXPECT_EQ(sum, kN * (kN - 1) / 2);
 }
 
+TEST(SpscQueueLayout, ProducerAndConsumerFieldsOnSeparateCacheLines) {
+  // Regression guard for the queue's whole point: the consumer-written
+  // fields (head_, tail_cache_) and producer-written fields (tail_,
+  // head_cache_) must never share a cache line, or every push invalidates
+  // the popper's line and throughput quietly collapses (false sharing).
+  SpscQueue<int> q{8};
+  const auto head = SpscQueueTestPeer::head_offset(q);
+  const auto tail_cache = SpscQueueTestPeer::tail_cache_offset(q);
+  const auto tail = SpscQueueTestPeer::tail_offset(q);
+  const auto head_cache = SpscQueueTestPeer::head_cache_offset(q);
+
+  const auto line_of = [](std::ptrdiff_t offset) {
+    return offset / static_cast<std::ptrdiff_t>(kCacheLine);
+  };
+  // Every index field gets its own line (alignas(kCacheLine) on each).
+  EXPECT_NE(line_of(head), line_of(tail));
+  EXPECT_NE(line_of(head), line_of(head_cache));
+  EXPECT_NE(line_of(tail), line_of(tail_cache));
+  EXPECT_NE(line_of(tail_cache), line_of(head_cache));
+  // And each is actually aligned to a line boundary within the object.
+  EXPECT_EQ(head % static_cast<std::ptrdiff_t>(kCacheLine), 0);
+  EXPECT_EQ(tail % static_cast<std::ptrdiff_t>(kCacheLine), 0);
+}
+
 TEST(SpscQueue, TwoThreadStressPreservesSequence) {
   // Producer pushes 0..N-1; consumer must see exactly that sequence.
   constexpr std::uint64_t kN = 2'000'000;

@@ -220,6 +220,38 @@ TEST(Reporter, PeriodicAndFinalSnapshots) {
   }
 }
 
+TEST(Reporter, StopReturnsPromptlyDespiteLongInterval) {
+  // Shutdown latency contract: stop() wakes the tick thread via the
+  // condition variable instead of waiting out the interval, so stopping a
+  // 10-second reporter is instant. (A sleep_for-based loop would pin this
+  // test at ~10 s.)
+  Registry registry;
+  std::ostringstream out;
+  ReporterConfig config;
+  config.interval = std::chrono::seconds{10};
+  config.stream = &out;
+  SnapshotReporter reporter{registry, config};
+  reporter.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  reporter.stop();
+  const auto stop_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(stop_ms, 100.0) << "stop() must not wait out the 10 s interval";
+  if constexpr (kEnabled) {
+    EXPECT_GE(reporter.snapshots_written(), 1u) << "final snapshot on stop";
+  }
+
+  // Concurrent stop() calls (e.g. explicit stop racing the destructor's)
+  // must not double-join the tick thread.
+  reporter.start();
+  std::thread racer{[&] { reporter.stop(); }};
+  reporter.stop();
+  racer.join();
+}
+
 TEST(Integration, EngineMirrorsMatchAuthoritativeCounts) {
   Registry registry;
   core::EngineConfig config;
