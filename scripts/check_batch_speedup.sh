@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Release-build benchmark smoke for the batched hot path: builds
+# bench_micro, runs BM_EngineProcess (scalar baseline) and
+# BM_EngineProcessBatch/$BATCH over the shared DRAM-resident workload, and
+# fails if the batch path's Mpps falls below TOLERANCE x scalar. The
+# tolerance (default 0.95) is a regression tripwire sized for noisy shared
+# CI runners, not the tuned-host speedup target (docs/PERFORMANCE.md).
+#
+# Usage: scripts/check_batch_speedup.sh
+#   BUILD=build-bench BATCH=32 TOLERANCE=0.95 MIN_TIME=1.0 to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build-bench}
+BATCH=${BATCH:-32}
+TOLERANCE=${TOLERANCE:-0.95}
+MIN_TIME=${MIN_TIME:-1.0}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target bench_micro >/dev/null
+
+JSON=$(mktemp)
+trap 'rm -f "$JSON"' EXIT
+"$BUILD"/bench/bench_micro \
+  --benchmark_filter="^BM_EngineProcess(\$|Batch/${BATCH}\$)" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$JSON"
+
+python3 - "$JSON" "$BATCH" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+path, batch, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(path) as f:
+    report = json.load(f)
+mpps = {
+    b["name"]: b["Mpps"]
+    for b in report["benchmarks"]
+    if b.get("run_type", "iteration") == "iteration" and "Mpps" in b
+}
+scalar = mpps["BM_EngineProcess"]
+batched = mpps[f"BM_EngineProcessBatch/{batch}"]
+ratio = batched / scalar
+print(f"scalar       {scalar:8.3f} Mpps")
+print(f"batch/{batch:<4} {batched:8.3f} Mpps")
+print(f"ratio        {ratio:8.3f}  (floor {tolerance})")
+if ratio < tolerance:
+    print("FAIL: batched path regressed below the scalar baseline")
+    sys.exit(1)
+print("OK: batched path holds the floor")
+EOF

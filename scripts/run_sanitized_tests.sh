@@ -1,25 +1,44 @@
 #!/usr/bin/env bash
-# Build with AddressSanitizer + UndefinedBehaviorSanitizer and run the
-# concurrency-sensitive test suites (telemetry registry, SPSC queue,
-# multi-core runtime). The telemetry fast path is wait-free single-writer
-# atomics — exactly the kind of code where a stray data race or UB hides
-# until a sanitizer shakes it out.
+# Build with sanitizers and run the concurrency-sensitive test suites
+# (telemetry registry, SPSC queue, multi-core runtime, flight recorder).
+# The telemetry fast path is wait-free single-writer atomics and the
+# multi-core batch pipeline prefetches shared-nothing shards — exactly the
+# kind of code where a stray data race or UB hides until a sanitizer
+# shakes it out.
+#
+# Two phases, because TSan cannot be combined with ASan:
+#   1. address,undefined over the full concurrency filter;
+#   2. thread over the MultiCore + SPSC suites, repeated 3x so the
+#      determinism test (same trace => bit-identical per-shard WSAF) gets
+#      multiple thread schedules to betray a race under.
+# Set SANITIZE to run a single custom phase instead.
 #
 # Usage: scripts/run_sanitized_tests.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD=${BUILD:-build-sanitize}
-SANITIZE=${SANITIZE:-address,undefined}
 FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder"}
+TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue"}
 
-cmake -B "$BUILD" -S . -DINSTAMEASURE_SANITIZE="$SANITIZE" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD" -j --target \
-  test_telemetry test_spsc test_multicore test_flight_recorder >/dev/null
+run_phase() {
+  local sanitize=$1 build=$2 filter=$3 repeat=$4
+  cmake -B "$build" -S . -DINSTAMEASURE_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$build" -j --target \
+    test_telemetry test_spsc test_multicore test_flight_recorder >/dev/null
+  ctest --test-dir "$build" -R "$filter" --output-on-failure -j "$(nproc)" \
+    --repeat "until-fail:$repeat"
+  echo "sanitized ($sanitize) test run passed"
+}
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
 
-ctest --test-dir "$BUILD" -R "$FILTER" --output-on-failure -j "$(nproc)"
-echo "sanitized ($SANITIZE) test run passed"
+if [[ -n "${SANITIZE:-}" ]]; then
+  run_phase "$SANITIZE" "${BUILD:-build-sanitize}" "$FILTER" 1
+  exit 0
+fi
+
+run_phase address,undefined "${BUILD:-build-sanitize}" "$FILTER" 1
+run_phase thread "${BUILD_TSAN:-build-tsan}" "$TSAN_FILTER" 3

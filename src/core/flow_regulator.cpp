@@ -34,10 +34,10 @@ FlowRegulator::FlowRegulator(const FlowRegulatorConfig& config)
 }
 
 std::optional<SaturationEvent> FlowRegulator::offer(
-    std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
+    std::uint64_t flow_hash, std::uint16_t wire_len,
+    const sketch::VvLayout& layout) noexcept {
   ++packets_;
   tel_packets_.inc();
-  const auto layout = l1_.layout_of(flow_hash);
   last_len_[layout.word_index] = wire_len;
 
   const auto l1_noise = l1_.encode(layout);

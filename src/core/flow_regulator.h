@@ -69,7 +69,33 @@ class FlowRegulator {
   /// `wire_len` bytes. Returns a SaturationEvent when the flow's counts
   /// should be flushed into the WSAF (≈1% of calls with default config).
   [[nodiscard]] std::optional<SaturationEvent> offer(
-      std::uint64_t flow_hash, std::uint16_t wire_len) noexcept;
+      std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
+    return offer(flow_hash, wire_len, layout_of(flow_hash));
+  }
+
+  /// Same, with the flow's (L1) layout already computed — the batched
+  /// engine derives it once per packet and reuses it across both layers.
+  /// `layout` must equal layout_of(flow_hash) or behavior diverges.
+  [[nodiscard]] std::optional<SaturationEvent> offer(
+      std::uint64_t flow_hash, std::uint16_t wire_len,
+      const sketch::VvLayout& layout) noexcept;
+
+  /// The flow's virtual-vector layout (shared by L1 and every L2 bank).
+  [[nodiscard]] sketch::VvLayout layout_of(
+      std::uint64_t flow_hash) const noexcept {
+    return l1_.layout_of(flow_hash);
+  }
+
+  /// Prefetch the cache lines offer() unconditionally touches for this
+  /// flow: the L1 word and its per-word length sample. The L2 banks share
+  /// the index but are only read on an L1 saturation (a few % of packets),
+  /// so prefetching them every packet would waste more bandwidth than the
+  /// rare miss costs. A hint only — no state change.
+  void prefetch(std::uint64_t flow_hash) const noexcept {
+    const auto wi = l1_.word_index_of(flow_hash);
+    l1_.prefetch_word(wi);
+    __builtin_prefetch(static_cast<const void*>(last_len_.data() + wi), 1, 3);
+  }
 
   /// Residual packets currently retained for this flow across both layers
   /// (not yet emitted to WSAF). Used by end-of-epoch queries so mice flows

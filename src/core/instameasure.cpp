@@ -1,10 +1,17 @@
 #include "core/instameasure.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 
 namespace instameasure::core {
 
 namespace {
+
+/// Batch chunk size: large enough to amortize the pipeline passes and give
+/// the prefetcher runway, small enough that the per-chunk scratch (hashes,
+/// pending events) stays a few KB of hot stack.
+constexpr std::size_t kBatchChunk = 64;
 
 using SteadyClock = std::chrono::steady_clock;
 
@@ -115,6 +122,118 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
   }
 
   if (sampled) tel_process_ns_.record(ns_between(t0, SteadyClock::now()));
+}
+
+void InstaMeasure::process_batch(std::span<const netio::PacketRecord> batch) {
+  while (!batch.empty()) {
+    const std::size_t n = std::min(batch.size(), kBatchChunk);
+    process_chunk(batch.data(), n);
+    batch = batch.subspan(n);
+  }
+}
+
+void InstaMeasure::process_batch(
+    std::span<const netio::PacketRecord* const> batch) {
+  // Gather the pointed-to records into a contiguous chunk: 24-byte copies
+  // are noise next to the DRAM lines the pipeline exists to hide, and the
+  // compacted chunk keeps stage 1 streaming instead of pointer-chasing.
+  std::array<netio::PacketRecord, kBatchChunk> chunk;
+  while (!batch.empty()) {
+    const std::size_t n = std::min(batch.size(), kBatchChunk);
+    for (std::size_t i = 0; i < n; ++i) chunk[i] = *batch[i];
+    process_chunk(chunk.data(), n);
+    batch = batch.subspan(n);
+  }
+}
+
+void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
+                                 std::size_t n) {
+  // Telemetry sampling must stay in lockstep with the scalar path: count
+  // how many sequence numbers in this chunk the scalar path would have
+  // timed, measure the chunk once, and spread the mean over that many
+  // histogram samples — counts match process() exactly, values become the
+  // batch-amortized per-packet time.
+  std::size_t sampled = 0;
+  if constexpr (telemetry::kEnabled) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (((pkt_seq_ + i) & sample_mask_) == 0) ++sampled;
+    }
+  }
+  pkt_seq_ += n;
+  SteadyClock::time_point t0;
+  if (telemetry::kEnabled && sampled != 0) t0 = SteadyClock::now();
+
+  // Stage 1: every flow-key hash and virtual-vector layout for the burst,
+  // computed once and reused by the regulator, both sketch layers, and the
+  // WSAF below. Each flow's sketch lines are prefetched before its
+  // (PRNG-heavy) layout is derived, so a line's DRAM round trip runs under
+  // the remainder of this pass plus every earlier packet's update — whole
+  // microseconds of cover against a few hundred nanoseconds of latency. A
+  // distance-K rolling prefetch inside the update loop is not enough here:
+  // the loaded word feeds an unpredictable saturation branch, and a
+  // mispredict that waits on DRAM flushes all speculative overlap.
+  std::array<std::uint64_t, kBatchChunk> hashes;
+  std::array<sketch::VvLayout, kBatchChunk> layouts;
+  const bool prefetch = config_.prefetch_distance != 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    hashes[i] = recs[i].key.hash(config_.seed);
+    if (prefetch) regulator_.prefetch(hashes[i]);
+    layouts[i] = regulator_.layout_of(hashes[i]);
+  }
+
+  // Stage 2: regulator updates against warm lines. Saturation events are
+  // parked instead of handled inline so their WSAF slot prefetches get the
+  // rest of the chunk as latency cover.
+  struct Pending {
+    std::uint32_t index;
+    SaturationEvent event;
+  };
+  std::array<Pending, kBatchChunk> pending;
+  std::size_t n_pending = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if constexpr (telemetry::kEnabled) {
+      if (trace_) {
+        trace_->emit(trace_track_, telemetry::TraceEventKind::kPacket,
+                     hashes[i], static_cast<double>(recs[i].wire_len));
+      }
+    }
+    if (const auto event =
+            regulator_.offer(hashes[i], recs[i].wire_len, layouts[i])) {
+      if (prefetch) wsaf_.prefetch(hashes[i]);
+      pending[n_pending].index = static_cast<std::uint32_t>(i);
+      pending[n_pending].event = *event;
+      ++n_pending;
+    }
+  }
+
+  // Stage 3: drain the (few) events into the WSAF in packet order — the
+  // same accumulate/tracker/detection sequence the scalar path runs, so
+  // totals, detection order, and telemetry counts are identical.
+  for (std::size_t p = 0; p < n_pending; ++p) {
+    const auto& rec = recs[pending[p].index];
+    const auto flow_hash = hashes[pending[p].index];
+    SteadyClock::time_point e0;
+    if constexpr (telemetry::kEnabled) e0 = SteadyClock::now();
+    const auto totals =
+        wsaf_.accumulate(rec.key, flow_hash, pending[p].event.est_packets,
+                         pending[p].event.est_bytes, rec.timestamp_ns);
+    if constexpr (telemetry::kEnabled) {
+      tel_event_accumulate_ns_.record(ns_between(e0, SteadyClock::now()));
+      tel_ips_pps_ratio_.set(regulator_.regulation_rate());
+    }
+    if (tracker_) tracker_->update(rec.key, flow_hash, totals.packets);
+    if (config_.heavy_hitter.packet_threshold > 0 ||
+        config_.heavy_hitter.byte_threshold > 0) {
+      check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
+                         totals.first_seen_ns, rec.timestamp_ns);
+    }
+  }
+
+  if (telemetry::kEnabled && sampled != 0) {
+    const auto mean_ns = ns_between(t0, SteadyClock::now()) /
+                         static_cast<std::uint64_t>(n);
+    for (std::size_t s = 0; s < sampled; ++s) tel_process_ns_.record(mean_ns);
+  }
 }
 
 void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,

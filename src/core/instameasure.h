@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -60,6 +61,14 @@ struct EngineConfig {
   /// timed (steady_clock), amortizing the clock cost to <0.2 ns/packet at
   /// the default 1/256. Only meaningful when telemetry is compiled in.
   unsigned telemetry_sample_shift = 8;
+  /// Software prefetch in the batched path: the layout pass prefetches
+  /// each packet's sketch lines a full chunk (up to 64 packets) ahead of
+  /// the update pass, and saturation events' WSAF slots get the rest of
+  /// the chunk as cover. 0 disables all prefetching (batching still
+  /// applies); any nonzero value enables it — the knob is an on/off and
+  /// A/B switch, results are bit-identical either way. See
+  /// docs/PERFORMANCE.md.
+  unsigned prefetch_distance = 8;
 };
 
 class InstaMeasure {
@@ -68,6 +77,21 @@ class InstaMeasure {
 
   /// Fast path: one hash, one-two sketch word accesses, rare WSAF access.
   void process(const netio::PacketRecord& rec);
+
+  /// Batched fast path. Semantically identical to calling process() on
+  /// every record in order — bit-identical WSAF contents, detections, and
+  /// counters for any batch size (the differential suite in
+  /// tests/test_batch_equivalence.cpp is the contract) — but internally
+  /// pipelined: flow-key hashes for the burst are computed once up front,
+  /// sketch lines for packet i+K are software-prefetched while packet i
+  /// updates, and the (rare) saturation events are drained into the WSAF in
+  /// a final pass whose slots were prefetched at discovery time. Arbitrary
+  /// span lengths are accepted; chunking is internal.
+  void process_batch(std::span<const netio::PacketRecord> batch);
+
+  /// Gather flavor for burst consumers that hold pointers into a queue
+  /// (MultiCoreEngine workers). Identical semantics.
+  void process_batch(std::span<const netio::PacketRecord* const> batch);
 
   struct FlowEstimate {
     double packets = 0;
@@ -128,6 +152,10 @@ class InstaMeasure {
   void reset();
 
  private:
+  /// One chunk (n <= kBatchChunk) of contiguous records through the
+  /// three-stage batch pipeline.
+  void process_chunk(const netio::PacketRecord* recs, std::size_t n);
+
   void check_heavy_hitter(const netio::FlowKey& key, std::uint64_t flow_hash,
                           double packets, double bytes,
                           std::uint64_t first_seen_ns, std::uint64_t now_ns);

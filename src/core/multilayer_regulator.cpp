@@ -33,10 +33,10 @@ MultiLayerRegulator::MultiLayerRegulator(const MultiLayerConfig& config)
 }
 
 std::optional<SaturationEvent> MultiLayerRegulator::offer(
-    std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
+    std::uint64_t flow_hash, std::uint16_t wire_len,
+    const sketch::VvLayout& layout) noexcept {
   ++packets_;
   tel_packets_.inc();
-  const auto layout = banks_.front().layout_of(flow_hash);
   last_len_[layout.word_index] = wire_len;
 
   std::size_t path = 0;

@@ -65,7 +65,29 @@ class MultiLayerRegulator {
 
   /// Process one packet; emits an event when the final layer saturates.
   [[nodiscard]] std::optional<SaturationEvent> offer(
-      std::uint64_t flow_hash, std::uint16_t wire_len) noexcept;
+      std::uint64_t flow_hash, std::uint16_t wire_len) noexcept {
+    return offer(flow_hash, wire_len, layout_of(flow_hash));
+  }
+
+  /// Same, with the flow's layout precomputed (batched callers). `layout`
+  /// must equal layout_of(flow_hash).
+  [[nodiscard]] std::optional<SaturationEvent> offer(
+      std::uint64_t flow_hash, std::uint16_t wire_len,
+      const sketch::VvLayout& layout) noexcept;
+
+  /// The flow's virtual-vector layout, shared by every bank on its path.
+  [[nodiscard]] sketch::VvLayout layout_of(
+      std::uint64_t flow_hash) const noexcept {
+    return banks_.front().layout_of(flow_hash);
+  }
+
+  /// Prefetch the layer-0 word line (and length sample) for this flow.
+  /// Deeper layers are touched too rarely to be worth the extra lines.
+  void prefetch(std::uint64_t flow_hash) const noexcept {
+    const auto wi = banks_.front().word_index_of(flow_hash);
+    banks_.front().prefetch_word(wi);
+    __builtin_prefetch(static_cast<const void*>(last_len_.data() + wi), 1, 3);
+  }
 
   /// Packets retained across every layer/path for this flow.
   [[nodiscard]] double residual_packets(std::uint64_t flow_hash) const noexcept;

@@ -133,10 +133,13 @@ PcapngReader::PcapngReader(const std::string& path)
   } else {
     throw std::runtime_error("PcapngReader: bad byte-order magic");
   }
-  // Skip the rest of the SHB body + trailing length.
+  // Skip the rest of the SHB body + trailing length. Validate the declared
+  // length the same way next() does for every other block: a corrupt SHB
+  // must error, not silently seek past EOF and read as an empty capture.
   const auto block_total = swap_ ? bswap32(total) : total;
-  if (block_total < 28) {
-    throw std::runtime_error("PcapngReader: SHB too short");
+  if (block_total < 28 || block_total % 4 != 0 ||
+      block_total > 64u * 1024 * 1024) {
+    throw std::runtime_error("PcapngReader: bad SHB block length");
   }
   in_.seekg(block_total - 12, std::ios::cur);
 }

@@ -111,7 +111,12 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
                         static_cast<double>(n));
           }
         }
-        for (std::size_t i = 0; i < n; ++i) engine.process(*burst[i]);
+        if (config_.batched) {
+          engine.process_batch(
+              std::span<const netio::PacketRecord* const>{burst.data(), n});
+        } else {
+          for (std::size_t i = 0; i < n; ++i) engine.process(*burst[i]);
+        }
         if constexpr (telemetry::kEnabled) {
           if (trace) {
             trace->emit(w, telemetry::TraceEventKind::kBatchEnd, 0,

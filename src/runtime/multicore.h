@@ -32,6 +32,12 @@ struct MultiCoreConfig {
   unsigned workers = 4;
   std::size_t queue_capacity = 1 << 14;
   DispatchPolicy dispatch = DispatchPolicy::kPopcount;
+  /// Workers drain their queue in bursts either through the engine's
+  /// batched prefetch pipeline (default) or as scalar process() calls.
+  /// Semantically invisible — per-shard state is bit-identical either way
+  /// (see tests/test_batch_equivalence.cpp); the scalar path remains as the
+  /// A/B baseline for the Fig 9a throughput reproduction.
+  bool batched = true;
   core::EngineConfig engine{};  ///< per-worker; memory is per worker (×N total)
   /// Registry every worker engine and the runtime export into (each series
   /// labeled worker="N"). When null the engine owns a private registry,

@@ -37,6 +37,16 @@ struct VvLayout {
   }
 };
 
+/// Word index a flow maps to, without drawing the bit positions. This is
+/// the cheap prefix of make_layout(): batch pipelines use it to prefetch a
+/// flow's word line long before the (PRNG-heavy) full layout is needed.
+/// Must stay in lockstep with make_layout so prefetches hit the same line.
+[[nodiscard]] inline std::uint64_t layout_word_index(
+    std::uint64_t flow_hash, std::uint64_t n_words,
+    std::uint64_t seed = 0) noexcept {
+  return util::reduce_range(util::mix64(flow_hash ^ seed), n_words);
+}
+
 /// Compute a flow's layout for a word array of `n_words` and a virtual
 /// vector of `vv_bits` distinct positions. Deterministic in (hash, seed).
 ///
@@ -48,7 +58,7 @@ struct VvLayout {
                                           unsigned vv_bits,
                                           std::uint64_t seed = 0) noexcept {
   VvLayout layout;
-  layout.word_index = util::reduce_range(util::mix64(flow_hash ^ seed), n_words);
+  layout.word_index = layout_word_index(flow_hash, n_words, seed);
   layout.bits = static_cast<std::uint8_t>(vv_bits);
   util::SplitMix64 prng{flow_hash ^ (seed * 0x9e3779b97f4a7c15ULL) ^
                         0xc0ffee123456789ULL};

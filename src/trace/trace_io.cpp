@@ -51,6 +51,9 @@ void save_trace(const std::string& path, const Trace& trace) {
 Trace load_trace(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
   char magic[8];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof magic) != 0) {
@@ -62,6 +65,21 @@ Trace load_trace(const std::string& path) {
   in.read(reinterpret_cast<char*>(&name_len), sizeof name_len);
   if (!in || name_len > 4096) {
     throw std::runtime_error("load_trace: bad header");
+  }
+  // Validate the declared record count against the actual file size BEFORE
+  // reserving: a corrupt count must fail cleanly, not attempt a multi-GB
+  // allocation. Exact-size matching also rejects truncated record tails and
+  // trailing garbage.
+  const std::uint64_t header_bytes = sizeof kMagic + sizeof count +
+                                     sizeof name_len + name_len;
+  if (file_size < header_bytes) {
+    throw std::runtime_error("load_trace: truncated header in " + path);
+  }
+  const std::uint64_t payload = file_size - header_bytes;
+  if (payload % sizeof(DiskRecord) != 0 ||
+      payload / sizeof(DiskRecord) != count) {
+    throw std::runtime_error(
+        "load_trace: record count does not match file size in " + path);
   }
   Trace trace;
   trace.name.resize(name_len);

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/ground_truth.h"
 #include "trace/generator.h"
@@ -124,6 +127,47 @@ TEST(MultiCore, PacedReplayApproximatesTargetRate) {
   EXPECT_NEAR(stats.wall_seconds, 0.5, 0.15);
   EXPECT_EQ(stats.producer_stalls, 0u);
   EXPECT_EQ(stats.per_worker_packets[0], slice.packets.size());
+}
+
+// Determinism contract: dispatch is a pure function of the flow key and
+// each worker drains its SPSC queue in FIFO order, so the per-shard WSAF
+// state must be bit-identical across runs regardless of thread scheduling
+// or how the queue happened to partition packets into bursts — and the
+// batched hot path must match the scalar fallback exactly. Run repeatedly
+// (and under TSan/ASan in CI) so a scheduling-dependent divergence or a
+// race in the burst pipeline cannot hide behind a lucky interleaving.
+TEST(MultiCore, DeterministicPerShardWsafAcrossRunsAndPaths) {
+  const auto trace = test_trace();
+  constexpr unsigned kWorkers = 4;
+  const auto shard_snapshots = [&](bool batched, int run) {
+    auto config = small_config(kWorkers);
+    config.batched = batched;
+    MultiCoreEngine engine{config};
+    (void)engine.run(trace);
+    std::vector<std::string> shards;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      const auto path = testing::TempDir() + "mc-det-" +
+                        std::to_string(batched) + "-" + std::to_string(run) +
+                        "-" + std::to_string(w) + ".bin";
+      engine.engine(w).wsaf().save(path);
+      std::ifstream in{path, std::ios::binary};
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      shards.push_back(buf.str());
+    }
+    return shards;
+  };
+  const auto baseline = shard_snapshots(true, 0);
+  for (int run = 1; run < 3; ++run) {
+    const auto again = shard_snapshots(true, run);
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      EXPECT_EQ(baseline[w], again[w]) << "run " << run << " shard " << w;
+    }
+  }
+  const auto scalar = shard_snapshots(false, 0);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(baseline[w], scalar[w]) << "scalar-path shard " << w;
+  }
 }
 
 TEST(MultiCore, TelemetryPopulated) {

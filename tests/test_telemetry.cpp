@@ -409,6 +409,92 @@ TEST(Integration, MemoryModelPublishesFeasibilityEnvelope) {
       budget.max_regulation_rate(memmodel::MemoryKind::kSram, 10e6));
 }
 
+TEST(Integration, BatchPathKeepsTelemetryLockstep) {
+  // Regression for the batched hot path: reusing precomputed hashes through
+  // the regulator and WSAF must not double-count anything. Every counter,
+  // the probe-length histogram (count AND sum — the batch path walks the
+  // exact same probe sequences), the sampled process_ns count (lockstep
+  // sampling), and the logical memory accounting must match the scalar
+  // engine exactly; only timing-valued sums may differ.
+  trace::TraceConfig tconfig;
+  tconfig.duration_s = 1.0;
+  tconfig.tiers = {{3, 15'000, 30'000}, {25, 1'000, 4'000}};
+  tconfig.mice = {8'000, 1.1, 40};
+  tconfig.seed = 99;
+  const auto trace = trace::generate(tconfig);
+
+  core::EngineConfig config;
+  config.regulator.l1_memory_bytes = 32 * 1024;
+  config.wsaf.log2_entries = 14;
+  config.heavy_hitter.packet_threshold = 5'000;
+  config.track_top_k = 5;
+
+  Registry scalar_reg, batch_reg;
+  auto scalar_config = config;
+  scalar_config.registry = &scalar_reg;
+  auto batch_config = config;
+  batch_config.registry = &batch_reg;
+  core::InstaMeasure scalar{scalar_config};
+  core::InstaMeasure batch{batch_config};
+
+  for (const auto& rec : trace.packets) scalar.process(rec);
+  const std::span<const netio::PacketRecord> all{trace.packets};
+  for (std::size_t off = 0; off < all.size(); off += 48) {
+    batch.process_batch(
+        all.subspan(off, std::min<std::size_t>(48, all.size() - off)));
+  }
+
+  EXPECT_EQ(scalar.wsaf().logical_memory_bytes(),
+            batch.wsaf().logical_memory_bytes());
+  EXPECT_EQ(core::WsafTable::logical_entry_bytes(), 33u);
+
+  if constexpr (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  for (const char* name :
+       {"im_regulator_packets_total", "im_regulator_l1_saturations_total",
+        "im_regulator_l2_saturations_total", "im_wsaf_accumulates_total",
+        "im_wsaf_inserts_total", "im_wsaf_updates_total",
+        "im_wsaf_evictions_total", "im_wsaf_rejected_total",
+        "im_wsaf_gc_reclaims_total", "im_wsaf_occupancy",
+        "im_engine_detections_total", "im_engine_reported_flows"}) {
+    EXPECT_DOUBLE_EQ(scalar_reg.value(name), batch_reg.value(name)) << name;
+  }
+
+  const auto ss = scalar_reg.snapshot();
+  const auto bs = batch_reg.snapshot();
+  const auto histogram_of = [](const Snapshot& snap, const char* name) {
+    const auto* sample = snap.find(name);
+    EXPECT_NE(sample, nullptr) << name;
+    EXPECT_TRUE(sample == nullptr || sample->histogram.has_value()) << name;
+    return sample != nullptr && sample->histogram.has_value()
+               ? &*sample->histogram
+               : nullptr;
+  };
+  const auto* probe_s = histogram_of(ss, "im_wsaf_probe_length");
+  const auto* probe_b = histogram_of(bs, "im_wsaf_probe_length");
+  ASSERT_NE(probe_s, nullptr);
+  ASSERT_NE(probe_b, nullptr);
+  EXPECT_GT(probe_s->count, 0u);
+  EXPECT_EQ(probe_s->count, probe_b->count);
+  EXPECT_DOUBLE_EQ(probe_s->sum, probe_b->sum);
+
+  // Timing histograms: sample COUNTS are part of the lockstep contract;
+  // the recorded values are wall-clock and legitimately differ.
+  for (const char* name :
+       {"im_engine_process_ns", "im_engine_event_accumulate_ns",
+        "im_engine_detection_latency_ns"}) {
+    const auto* hist_s = histogram_of(ss, name);
+    const auto* hist_b = histogram_of(bs, name);
+    ASSERT_NE(hist_s, nullptr) << name;
+    ASSERT_NE(hist_b, nullptr) << name;
+    EXPECT_EQ(hist_s->count, hist_b->count) << name;
+  }
+  // Detection latency is trace-clock, not wall-clock: identical sums too.
+  const auto* lat_s = histogram_of(ss, "im_engine_detection_latency_ns");
+  const auto* lat_b = histogram_of(bs, "im_engine_detection_latency_ns");
+  EXPECT_GT(lat_s->count, 0u);
+  EXPECT_DOUBLE_EQ(lat_s->sum, lat_b->sum);
+}
+
 TEST(Integration, ClearDetectionsBoundsReportedSets) {
   // Satellite fix: reported_pkt_/reported_byte_ must not grow without
   // bound — clear_detections() empties them and rewinds the gauge.
