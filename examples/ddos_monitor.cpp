@@ -9,8 +9,13 @@
 // alarm.
 //
 // Usage: ./examples/ddos_monitor [--attacks=4] [--threshold=500]
+//                                [--background capture.imtrace]
 //                                [--trace-out out.trace.json]
 //                                [--trace-spool out.imtrc]
+//
+// --background replays a recorded trace (trace_io format) as the benign
+// traffic instead of the synthetic campus mix; an unreadable or truncated
+// file exits 1 with a one-line diagnostic.
 //
 // --trace-out attaches the flight recorder to the replay and writes
 // Chrome trace-event JSON on exit (open in https://ui.perfetto.dev to see
@@ -18,6 +23,7 @@
 // additionally keeps the raw binary spool for tools/trace_inspect.
 #include <bit>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <span>
 #include <string>
@@ -29,6 +35,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "trace/generator.h"
+#include "trace/trace_io.h"
 #include "util/cli.h"
 #include "util/format.h"
 
@@ -41,13 +48,26 @@ int main(int argc, char** argv) {
 
   std::printf("=== InstaMeasure DDoS monitor ===\n");
 
-  // Benign background: campus-like mice + a few legitimate elephants.
-  trace::TraceConfig background;
-  background.duration_s = 3.0;
-  background.tiers = {{5, 5'000, 20'000}};
-  background.mice = {30'000, 1.05, 30};
-  background.seed = 2024;
-  auto trace = trace::generate(background);
+  // Benign background: a recorded trace if --background was given,
+  // otherwise campus-like mice + a few legitimate elephants.
+  trace::Trace trace;
+  if (const std::string background_path = args.get("background", "");
+      !background_path.empty()) {
+    try {
+      trace = trace::load_trace(background_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ddos_monitor: %s: %s\n", background_path.c_str(),
+                   e.what());
+      return 1;
+    }
+  } else {
+    trace::TraceConfig background;
+    background.duration_s = 3.0;
+    background.tiers = {{5, 5'000, 20'000}};
+    background.mice = {30'000, 1.05, 30};
+    background.seed = 2024;
+    trace = trace::generate(background);
+  }
 
   // Attackers: increasing intensity, staggered onsets, 512B floods.
   struct Attack {

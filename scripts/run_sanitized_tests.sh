@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Build with sanitizers and run the concurrency-sensitive test suites
-# (telemetry registry, SPSC queue, multi-core runtime, flight recorder).
+# (telemetry registry, SPSC queue, multi-core runtime, flight recorder,
+# and the fault-injection chaos suite in tests/test_resilience.cpp).
 # The telemetry fast path is wait-free single-writer atomics and the
 # multi-core batch pipeline prefetches shared-nothing shards — exactly the
 # kind of code where a stray data race or UB hides until a sanitizer
@@ -11,21 +12,22 @@
 #   2. thread over the MultiCore + SPSC suites, repeated 3x so the
 #      determinism test (same trace => bit-identical per-shard WSAF) gets
 #      multiple thread schedules to betray a race under.
-# Set SANITIZE to run a single custom phase instead.
+# Set SANITIZE to run a single custom phase instead (REPEAT=n to repeat).
 #
 # Usage: scripts/run_sanitized_tests.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder"}
-TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue"}
+FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline"}
+TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue|OverloadChaos|OverloadPaced|Watchdog"}
 
 run_phase() {
   local sanitize=$1 build=$2 filter=$3 repeat=$4
   cmake -B "$build" -S . -DINSTAMEASURE_SANITIZE="$sanitize" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$build" -j --target \
-    test_telemetry test_spsc test_multicore test_flight_recorder >/dev/null
+    test_telemetry test_spsc test_multicore test_flight_recorder \
+    test_resilience >/dev/null
   ctest --test-dir "$build" -R "$filter" --output-on-failure -j "$(nproc)" \
     --repeat "until-fail:$repeat"
   echo "sanitized ($sanitize) test run passed"
@@ -36,7 +38,7 @@ export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
 
 if [[ -n "${SANITIZE:-}" ]]; then
-  run_phase "$SANITIZE" "${BUILD:-build-sanitize}" "$FILTER" 1
+  run_phase "$SANITIZE" "${BUILD:-build-sanitize}" "$FILTER" "${REPEAT:-1}"
   exit 0
 fi
 

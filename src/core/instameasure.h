@@ -126,6 +126,13 @@ class InstaMeasure {
     return regulator_;
   }
   [[nodiscard]] const WsafTable& wsaf() const noexcept { return wsaf_; }
+
+  /// Overload signal of the measurement state (currently the WSAF's
+  /// occupancy/eviction pressure — the structure whose overload silently
+  /// degrades accuracy). The runtime reports this and can shed on it.
+  [[nodiscard]] WsafPressure pressure() const noexcept {
+    return wsaf_.pressure();
+  }
   [[nodiscard]] std::uint64_t packets_processed() const noexcept {
     return regulator_.packets();
   }

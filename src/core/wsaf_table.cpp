@@ -52,6 +52,12 @@ WsafTable::WsafTable(const WsafConfig& config)
                                 config.labels);
     tel_occupancy_ = reg.gauge("im_wsaf_occupancy",
                                "Live WSAF entries", config.labels);
+    tel_pressure_level_ = reg.gauge(
+        "im_wsaf_pressure_level",
+        "Overload signal: 0 nominal, 1 elevated, 2 saturated", config.labels);
+    tel_eviction_pressure_ = reg.gauge(
+        "im_wsaf_eviction_pressure",
+        "Evict/reject fraction of the last pressure window", config.labels);
     tel_probe_length_ = reg.histogram(
         "im_wsaf_probe_length", "Slots probed per accumulate() call",
         config.labels);
@@ -65,6 +71,7 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
                                              std::uint64_t now_ns) {
   ++stats_.accumulates;
   tel_accumulates_.inc();
+  if (++window_accumulates_ >= kPressureWindow) roll_pressure_window();
   const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
 
   std::size_t first_free = slots_.size();  // sentinel: none seen
@@ -122,6 +129,7 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
   }
 
   // Probe window full of live entries: replace per the configured policy.
+  ++window_stress_;  // this event displaces (or loses) a live flow
   if (config_.eviction == EvictionPolicy::kNone) {
     ++stats_.rejected;
     tel_rejected_.inc();
@@ -291,13 +299,27 @@ WsafTable WsafTable::load(const std::string& path) {
   return table;
 }
 
+void WsafTable::roll_pressure_window() noexcept {
+  eviction_pressure_ = static_cast<double>(window_stress_) /
+                       static_cast<double>(window_accumulates_);
+  window_stress_ = 0;
+  window_accumulates_ = 0;
+  tel_eviction_pressure_.set(eviction_pressure_);
+  tel_pressure_level_.set(static_cast<double>(pressure().level));
+}
+
 void WsafTable::reset() {
   std::fill(slots_.begin(), slots_.end(), WsafEntry{});
   occupied_ = 0;
   stats_ = WsafStats{};
+  window_accumulates_ = 0;
+  window_stress_ = 0;
+  eviction_pressure_ = 0.0;
   // Telemetry counters stay monotone across resets (Prometheus semantics);
   // only point-in-time gauges rewind.
   tel_occupancy_.set(0);
+  tel_pressure_level_.set(0);
+  tel_eviction_pressure_.set(0);
 }
 
 }  // namespace instameasure::core

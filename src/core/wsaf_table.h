@@ -89,6 +89,31 @@ struct WsafStats {
   std::uint64_t rejected = 0;     ///< all probed slots referenced & fresher (never with eviction fallback)
 };
 
+/// How close the table is to silent accuracy collapse. kElevated means
+/// headroom is shrinking; kSaturated means new elephants are already
+/// recycling live entries (or being rejected) at a rate that will distort
+/// estimates — the overload signal the runtime reports (and can shed on)
+/// before the degradation becomes invisible.
+enum class WsafPressureLevel : int { kNominal = 0, kElevated = 1, kSaturated = 2 };
+
+[[nodiscard]] constexpr const char* to_string(WsafPressureLevel l) noexcept {
+  switch (l) {
+    case WsafPressureLevel::kNominal: return "nominal";
+    case WsafPressureLevel::kElevated: return "elevated";
+    case WsafPressureLevel::kSaturated: return "saturated";
+  }
+  return "?";
+}
+
+struct WsafPressure {
+  double occupancy_ratio = 0.0;    ///< occupied / table slots
+  /// Fraction of the most recent accumulate window that had to evict or
+  /// reject (insertions displacing live flows): the eviction-pressure
+  /// signal. 0 until one full window has elapsed.
+  double eviction_pressure = 0.0;
+  WsafPressureLevel level = WsafPressureLevel::kNominal;
+};
+
 class WsafTable {
  public:
   explicit WsafTable(const WsafConfig& config);
@@ -135,6 +160,25 @@ class WsafTable {
   [[nodiscard]] const WsafStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const WsafConfig& config() const noexcept { return config_; }
 
+  /// Current overload signal: occupancy plus windowed eviction pressure
+  /// (recomputed every kPressureWindow accumulates). Levels: saturated at
+  /// >90% occupancy or >50% of recent events evicting/rejecting; elevated
+  /// at >70% / >10%.
+  [[nodiscard]] WsafPressure pressure() const noexcept {
+    WsafPressure p;
+    p.occupancy_ratio = load_factor();
+    p.eviction_pressure = eviction_pressure_;
+    if (p.occupancy_ratio > 0.9 || p.eviction_pressure > 0.5) {
+      p.level = WsafPressureLevel::kSaturated;
+    } else if (p.occupancy_ratio > 0.7 || p.eviction_pressure > 0.1) {
+      p.level = WsafPressureLevel::kElevated;
+    }
+    return p;
+  }
+
+  /// Accumulate events per eviction-pressure window.
+  static constexpr std::uint64_t kPressureWindow = 1024;
+
   /// The paper's 33-byte logical entry size (memory accounting).
   [[nodiscard]] static constexpr std::size_t logical_entry_bytes() noexcept {
     return 33;
@@ -170,11 +214,18 @@ class WsafTable {
            e.last_update_ns + config_.idle_timeout_ns < now_ns;
   }
 
+  void roll_pressure_window() noexcept;
+
   WsafConfig config_;
   std::uint64_t mask_;
   std::vector<WsafEntry> slots_;
   std::size_t occupied_ = 0;
   WsafStats stats_;
+  // Eviction-pressure window: evict/reject fraction of the last
+  // kPressureWindow accumulates, cached for pressure().
+  std::uint64_t window_accumulates_ = 0;
+  std::uint64_t window_stress_ = 0;
+  double eviction_pressure_ = 0.0;
   // Telemetry mirrors of stats_ plus live occupancy and probe-length
   // distribution (single-writer cells; stats_ stays authoritative).
   telemetry::Counter tel_accumulates_;
@@ -184,6 +235,8 @@ class WsafTable {
   telemetry::Counter tel_gc_reclaims_;
   telemetry::Counter tel_rejected_;
   telemetry::Gauge tel_occupancy_;
+  telemetry::Gauge tel_pressure_level_;
+  telemetry::Gauge tel_eviction_pressure_;
   telemetry::Histogram tel_probe_length_;
   telemetry::TraceRecorder* trace_ = nullptr;
   unsigned trace_track_ = 0;

@@ -1,0 +1,61 @@
+#include "delegation/reliable.h"
+
+namespace instameasure::delegation {
+
+ReliableRun run_reliable_pipeline(const netio::PacketVector& packets,
+                                  const PipelineConfig& config,
+                                  const std::vector<netio::FlowKey>& watched) {
+  ReliableLink<sketch::CountMinSketch> link{config.reliable, config.channel};
+  Exporter exporter{config,
+                    Exporter::Sink{[&link](std::uint64_t now_ns,
+                                           sketch::CountMinSketch sketch) {
+                      link.send(now_ns, std::move(sketch));
+                    }}};
+  Collector collector{config};
+
+  const auto pump = [&](std::uint64_t now_ns) {
+    link.tick(now_ns);
+    for (auto& [deliver_ns, sketch] : link.receive(now_ns)) {
+      collector.ingest(deliver_ns, sketch, watched);
+    }
+  };
+
+  for (const auto& rec : packets) {
+    exporter.offer(rec);
+    pump(rec.timestamp_ns);
+  }
+  const std::uint64_t end_ns =
+      packets.empty() ? 0 : packets.back().timestamp_ns;
+  exporter.flush(end_ns);
+
+  // Drain: step simulated time forward until every epoch is either acked
+  // or abandoned and both channels are empty. The step is fine enough to
+  // respect retransmit timers; the iteration bound only guards against a
+  // (logically impossible) livelock.
+  const auto step_ns = static_cast<std::uint64_t>(
+      std::max(1.0, config.reliable.rto_ms / 4) * 1e6);
+  auto now = end_ns;
+  for (int i = 0; i < 1'000'000 && !link.idle(); ++i) {
+    now += step_ns;
+    pump(now);
+  }
+
+  ReliableRun run;
+  for (const auto& key : watched) {
+    if (const auto t = collector.detection_time(key)) {
+      run.detections.emplace(key, *t);
+    }
+  }
+  run.epochs = exporter.epochs_flushed();
+  run.epochs_recovered = link.delivered();
+  run.gaps = link.gaps_vs_sent();
+  run.retransmits = link.stats().retransmits;
+  run.transmissions = link.stats().transmissions;
+  run.duplicates_dropped = link.stats().duplicates_dropped;
+  run.abandoned = link.stats().abandoned;
+  run.channel_losses = link.data_channel().lost();
+  run.recovery_ns = link.last_recovery_ns();
+  return run;
+}
+
+}  // namespace instameasure::delegation

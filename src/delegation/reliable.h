@@ -1,0 +1,208 @@
+// Reliable delegation: sequence-numbered epochs with ack/retransmit.
+//
+// The plain pipeline (pipeline.h) silently loses epochs when the channel
+// drops a sketch — the pathology the paper cites against remote-collector
+// designs. ReliableLink makes that loss explicit and repairable: every
+// payload carries a sequence number, the receiver acks each delivery over
+// a reverse channel (which can itself lose acks), the sender retransmits
+// unacked payloads on an exponential-backoff timer, and the receiver
+// deduplicates and accounts gaps exactly. With max_retransmits = 0 the
+// link degrades into the sequenced-but-lossy baseline: gaps are detected
+// and counted, never repaired — which is what lets the Fig 9b comparison
+// quantify loss-induced detection delay instead of ignoring it.
+//
+// Everything is deterministic: channels draw from seeded RNGs, time is the
+// simulation clock the caller advances via tick()/receive(), and there is
+// no wall-clock dependence anywhere.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "delegation/channel.h"
+#include "delegation/pipeline.h"
+
+namespace instameasure::delegation {
+
+/// Point-to-point reliable transport over two SimulatedChannels. The same
+/// object holds both endpoints (the simulation is single-threaded): the
+/// sender side is send()/tick(), the receiver side is receive()/gaps().
+template <typename T>
+class ReliableLink {
+ public:
+  struct Stats {
+    std::uint64_t payloads = 0;       ///< distinct payloads offered
+    std::uint64_t transmissions = 0;  ///< data sends incl. retransmits
+    std::uint64_t retransmits = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t duplicates_dropped = 0;  ///< repeat deliveries discarded
+    std::uint64_t abandoned = 0;  ///< payloads given up after max_retransmits
+  };
+
+  /// What travels on the data channel: the payload plus its sequence tag.
+  /// No default constructor — T (e.g. CountMinSketch) may not have one;
+  /// envelopes are always aggregate-built around an existing payload.
+  struct Envelope {
+    std::uint64_t seq;
+    T payload;
+  };
+
+  ReliableLink(const ReliableConfig& config, const ChannelConfig& data)
+      : config_(config), data_(data), ack_(config.ack_channel) {}
+
+  // ---- sender side ----
+
+  /// Offer a payload at `now_ns`; it is transmitted immediately and kept
+  /// until acked (or abandoned after max_retransmits).
+  void send(std::uint64_t now_ns, T payload) {
+    Pending p{next_seq_++, std::move(payload), 0, 0, config_.rto_ms, false,
+              false};
+    transmit(now_ns, p);
+    unacked_.push_back(std::move(p));
+    ++stats_.payloads;
+  }
+
+  /// Advance the sender's clock: absorb acks delivered by `now_ns`, then
+  /// retransmit (or abandon) every pending payload whose timer expired.
+  void tick(std::uint64_t now_ns) {
+    for (const auto& [deliver_ns, seq] : ack_.deliver_until(now_ns)) {
+      (void)deliver_ns;
+      for (auto& p : unacked_) {
+        if (p.seq == seq) p.acked = true;
+      }
+      ++stats_.acks_received;
+    }
+    std::erase_if(unacked_, [](const Pending& p) { return p.acked; });
+    for (auto& p : unacked_) {
+      if (now_ns < p.next_retx_ns) continue;
+      if (p.attempts > config_.max_retransmits) {
+        p.abandoned = true;
+        ++stats_.abandoned;
+        continue;
+      }
+      transmit(now_ns, p);
+      ++stats_.retransmits;
+    }
+    std::erase_if(unacked_, [](const Pending& p) { return p.abandoned; });
+  }
+
+  [[nodiscard]] std::size_t unacked() const noexcept {
+    return unacked_.size();
+  }
+
+  // ---- receiver side ----
+
+  /// Deliveries due by `now_ns`, deduplicated, in delivery order. Every
+  /// delivery (including duplicates) is acked — the original ack may have
+  /// been the thing that got lost.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, T>> receive(
+      std::uint64_t now_ns) {
+    std::vector<std::pair<std::uint64_t, T>> out;
+    for (auto& [deliver_ns, env] : data_.deliver_until(now_ns)) {
+      (void)ack_.send(deliver_ns, env.seq);
+      if (env.seq < received_.size() && received_[env.seq]) {
+        ++stats_.duplicates_dropped;
+        continue;
+      }
+      if (env.seq >= received_.size()) received_.resize(env.seq + 1, false);
+      received_[env.seq] = true;
+      ++received_count_;
+      last_recovery_ns_ = std::max(last_recovery_ns_, deliver_ns);
+      out.emplace_back(deliver_ns, std::move(env.payload));
+    }
+    return out;
+  }
+
+  /// Receiver-visible gaps: sequence numbers below the highest delivered
+  /// one that never arrived. Zero after full recovery.
+  [[nodiscard]] std::uint64_t gaps() const noexcept {
+    return received_.size() - received_count_;
+  }
+  /// Gaps counted against everything the sender offered (catches a lost
+  /// final epoch the receiver cannot see).
+  [[nodiscard]] std::uint64_t gaps_vs_sent() const noexcept {
+    return next_seq_ - received_count_;
+  }
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return received_count_;
+  }
+  /// Delivery time of the most recent first-time delivery (the recovery
+  /// horizon: when the collector finally held every epoch).
+  [[nodiscard]] std::uint64_t last_recovery_ns() const noexcept {
+    return last_recovery_ns_;
+  }
+
+  // ---- shared ----
+
+  /// True when nothing remains in flight anywhere: no unacked payloads and
+  /// both channels drained. The post-trace drain loop runs until this.
+  [[nodiscard]] bool idle() const noexcept {
+    return unacked_.empty() && data_.in_flight() == 0 && ack_.in_flight() == 0;
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SimulatedChannel<Envelope>& data_channel()
+      const noexcept {
+    return data_;
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t seq;
+    T payload;
+    std::uint64_t next_retx_ns;
+    unsigned attempts;
+    double rto_ms;
+    bool acked;
+    bool abandoned;
+  };
+
+  void transmit(std::uint64_t now_ns, Pending& p) {
+    ++p.attempts;
+    p.next_retx_ns =
+        now_ns + static_cast<std::uint64_t>(p.rto_ms * 1e6);
+    p.rto_ms = std::min(p.rto_ms * config_.rto_backoff, config_.rto_max_ms);
+    (void)data_.send(now_ns, Envelope{p.seq, p.payload});
+    ++stats_.transmissions;
+  }
+
+  ReliableConfig config_;
+  SimulatedChannel<Envelope> data_;
+  SimulatedChannel<std::uint64_t> ack_;
+  std::deque<Pending> unacked_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<bool> received_;
+  std::uint64_t received_count_ = 0;
+  std::uint64_t last_recovery_ns_ = 0;
+  Stats stats_;
+};
+
+/// Result of a reliable (or sequenced-lossy, max_retransmits = 0) pipeline
+/// run. Extends DelegationRun with the loss accounting the plain pipeline
+/// cannot produce.
+struct ReliableRun {
+  std::unordered_map<netio::FlowKey, std::uint64_t, netio::FlowKeyHash>
+      detections;
+  std::uint64_t epochs = 0;             ///< epochs the exporter sealed
+  std::uint64_t epochs_recovered = 0;   ///< distinct epochs the collector holds
+  std::uint64_t gaps = 0;               ///< epochs still missing at the end
+  std::uint64_t retransmits = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t channel_losses = 0;     ///< data-channel drops (incl. retransmits)
+  /// When the collector finally held its last first-time epoch — the added
+  /// tail latency retransmission buys recovery with.
+  std::uint64_t recovery_ns = 0;
+};
+
+/// Run a whole trace through exporter -> ReliableLink -> collector. With
+/// config.reliable.max_retransmits = 0 this is the sequenced-lossy
+/// baseline (gap counting, no repair).
+[[nodiscard]] ReliableRun run_reliable_pipeline(
+    const netio::PacketVector& packets, const PipelineConfig& config,
+    const std::vector<netio::FlowKey>& watched);
+
+}  // namespace instameasure::delegation

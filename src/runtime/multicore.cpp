@@ -3,20 +3,62 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <span>
+#include <stdexcept>
+#include <string>
+
+#include "resilience/faultpoint.h"
 
 namespace instameasure::runtime {
 
+namespace {
+
+/// Busy-wait for `ns` of wall time (sleep granularity is far coarser than
+/// the stalls the chaos suite injects).
+void spin_for_ns(double ns) {
+  if (ns <= 0) return;
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
+
 MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     : config_(config) {
+  if (config.workers == 0) {
+    throw std::invalid_argument(
+        "MultiCoreConfig: workers must be >= 1 (got 0)");
+  }
+  if (config.queue_capacity < 2 ||
+      !std::has_single_bit(config.queue_capacity)) {
+    throw std::invalid_argument(
+        "MultiCoreConfig: queue_capacity must be a power of two >= 2 (got " +
+        std::to_string(config.queue_capacity) + ")");
+  }
+  if constexpr (telemetry::kEnabled) {
+    // Track w belongs to worker w and track `workers` to the manager; a
+    // smaller recorder would silently interleave unrelated streams.
+    if (config.trace != nullptr &&
+        config.trace->tracks() < config.workers + 1) {
+      throw std::invalid_argument(
+          "MultiCoreConfig: trace recorder has " +
+          std::to_string(config.trace->tracks()) + " tracks but " +
+          std::to_string(config.workers + 1) +
+          " are required (workers + 1 manager track)");
+    }
+  }
   if (config.registry != nullptr) {
     registry_ = config.registry;
   } else {
     owned_registry_ = std::make_unique<telemetry::Registry>();
     registry_ = owned_registry_.get();
   }
-  const unsigned n = std::max(1u, config.workers);
+  const unsigned n = config.workers;
   engines_.reserve(n);
   for (unsigned w = 0; w < n; ++w) {
     const telemetry::Labels worker_labels{{"worker", std::to_string(w)}};
@@ -40,9 +82,24 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     tel_idle_polls_.push_back(registry_->counter(
         "im_runtime_worker_idle_polls_total",
         "Worker poll loops that found the queue empty", worker_labels));
+    tel_dropped_.push_back(registry_->counter(
+        "im_runtime_dropped_total",
+        "Packets dropped at a full queue under the drop-tail policy",
+        worker_labels));
+    tel_shed_.push_back(registry_->counter(
+        "im_runtime_shed_total",
+        "Packets shed by the graceful-degradation ladder", worker_labels));
+    tel_worker_stalled_.push_back(registry_->counter(
+        "im_runtime_worker_stalled_total",
+        "Watchdog reports of a worker making no progress with a backlog",
+        worker_labels));
     tel_queue_depth_max_.push_back(registry_->gauge(
         "im_runtime_queue_depth_max",
         "Deepest SPSC queue backlog observed in the last run",
+        worker_labels));
+    tel_shed_level_.push_back(registry_->gauge(
+        "im_runtime_shed_level",
+        "Current degradation-ladder rung (admission rate 1/2^level)",
         worker_labels));
   }
   tel_producer_stalls_ = registry_->counter(
@@ -54,40 +111,60 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
                                "Throughput of the last run (Mpackets/s)");
   tel_wall_seconds_ = registry_->gauge("im_runtime_wall_seconds",
                                        "Cumulative run() wall time");
+  tel_wsaf_pressure_ = registry_->gauge(
+      "im_runtime_wsaf_pressure_level",
+      "Worst per-worker WSAF pressure level (0 nominal, 1 elevated, "
+      "2 saturated)");
 }
 
 MultiCoreEngine::~MultiCoreEngine() = default;
 
 RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
   const unsigned n = workers();
-  std::vector<std::unique_ptr<SpscQueue<const netio::PacketRecord*>>> queues;
+  const OverloadConfig& ov = config_.overload;
+  std::vector<std::unique_ptr<SpscQueue<QueueItem>>> queues;
   queues.reserve(n);
   for (unsigned w = 0; w < n; ++w) {
-    queues.push_back(std::make_unique<SpscQueue<const netio::PacketRecord*>>(
-        config_.queue_capacity));
+    queues.push_back(
+        std::make_unique<SpscQueue<QueueItem>>(config_.queue_capacity));
   }
 
   std::atomic<bool> done{false};
   RunStats stats;
   stats.packets = trace.packets.size();
   stats.per_worker_packets.assign(n, 0);
+  stats.per_worker_dropped.assign(n, 0);
   stats.max_queue_depth.assign(n, 0);
   stats.worker_busy_fraction.assign(n, 0);
 
   // Counter baselines: run() may be called repeatedly while the registry
   // counters stay cumulative, so per-run stats are deltas from here.
-  std::vector<std::uint64_t> packets0(n, 0), busy0(n, 0), idle0(n, 0);
+  std::vector<std::uint64_t> packets0(n, 0), busy0(n, 0), idle0(n, 0),
+      dropped0(n, 0), shed0(n, 0);
   for (unsigned w = 0; w < n; ++w) {
     packets0[w] = tel_worker_packets_[w].value();
     busy0[w] = tel_busy_polls_[w].value();
     idle0[w] = tel_idle_polls_[w].value();
+    dropped0[w] = tel_dropped_[w].value();
+    shed0[w] = tel_shed_[w].value();
   }
   const std::uint64_t stalls0 = tel_producer_stalls_.value();
   // Compiled-out fallback tallies (telemetry::kEnabled == false reads every
   // counter as 0, so the deltas above would vanish).
   std::vector<std::uint64_t> local_packets(n, 0), local_busy(n, 0),
-      local_idle(n, 0);
+      local_idle(n, 0), local_dropped(n, 0), local_shed(n, 0);
   std::uint64_t local_stalls = 0;
+
+  // Watchdog plumbing: workers publish a progress heartbeat and their
+  // shard's WSAF pressure level through these atomics; the watchdog (and
+  // nothing else) may read them — it must never touch the engines directly
+  // while workers run.
+  std::vector<std::atomic<std::uint64_t>> progress(n);
+  std::vector<std::atomic<int>> pressure(n);
+  std::atomic<unsigned> shed_floor{0};
+  std::atomic<std::uint64_t> watchdog_reports{0};
+  std::atomic<int> pressure_peak{0};
+  std::atomic<bool> watchdog_stop{false};
 
   std::vector<std::thread> workers;
   workers.reserve(n);
@@ -100,38 +177,70 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
       auto& tel_packets = tel_worker_packets_[w];
       auto& tel_busy = tel_busy_polls_[w];
       auto& tel_idle = tel_idle_polls_[w];
-      std::array<const netio::PacketRecord*, 64> burst;
+      auto& fault_stall = resilience::faultpoint("runtime.worker_stall");
+      std::array<QueueItem, 64> burst;
+      std::array<const netio::PacketRecord*, 64> ptrs;
+      std::uint64_t bursts_seen = 0;
       telemetry::TraceRecorder* const trace = config_.trace;
-      const auto process_burst = [&](std::size_t n) {
+      const auto process_burst = [&](std::size_t count) {
+        // Injected stall: pretend the worker wedged for param() ns before
+        // touching the burst (the watchdog's detection target).
+        if (fault_stall.fire()) spin_for_ns(fault_stall.param());
         // Batch begin/end give Perfetto a duration slice per burst; the
         // per-packet events the engine emits nest inside it.
         if constexpr (telemetry::kEnabled) {
           if (trace) {
             trace->emit(w, telemetry::TraceEventKind::kBatchBegin, 0,
-                        static_cast<double>(n));
+                        static_cast<double>(count));
           }
         }
-        if (config_.batched) {
-          engine.process_batch(
-              std::span<const netio::PacketRecord* const>{burst.data(), n});
-        } else {
-          for (std::size_t i = 0; i < n; ++i) engine.process(*burst[i]);
+        // Weight-1 runs take the batched prefetch pipeline exactly as the
+        // block policy always has (bit-identical shard state); a weighted
+        // item — shed-ladder compensation — is replayed weight times through
+        // the scalar path so both packet and byte estimates scale back up.
+        std::size_t i = 0;
+        while (i < count) {
+          if (burst[i].weight == 1) {
+            std::size_t run_len = 0;
+            while (i + run_len < count && burst[i + run_len].weight == 1) {
+              ptrs[run_len] = burst[i + run_len].rec;
+              ++run_len;
+            }
+            if (config_.batched) {
+              engine.process_batch(std::span<const netio::PacketRecord* const>{
+                  ptrs.data(), run_len});
+            } else {
+              for (std::size_t j = 0; j < run_len; ++j) engine.process(*ptrs[j]);
+            }
+            i += run_len;
+          } else {
+            for (std::uint32_t j = 0; j < burst[i].weight; ++j) {
+              engine.process(*burst[i].rec);
+            }
+            ++i;
+          }
         }
         if constexpr (telemetry::kEnabled) {
           if (trace) {
             trace->emit(w, telemetry::TraceEventKind::kBatchEnd, 0,
-                        static_cast<double>(n));
+                        static_cast<double>(count));
           }
+        }
+        progress[w].fetch_add(count, std::memory_order_relaxed);
+        if ((++bursts_seen & 63) == 0) {
+          pressure[w].store(static_cast<int>(engine.pressure().level),
+                            std::memory_order_relaxed);
         }
       };
       for (;;) {
-        if (const auto n = queue.try_pop_burst(std::span{burst}); n != 0) {
-          process_burst(n);
-          tel_packets.inc(n);
-          tel_busy.inc(n);
+        if (const auto got = queue.try_pop_burst(std::span{burst});
+            got != 0) {
+          process_burst(got);
+          tel_packets.inc(got);
+          tel_busy.inc(got);
           if constexpr (!telemetry::kEnabled) {
-            local_packets[w] += n;
-            local_busy[w] += n;
+            local_packets[w] += got;
+            local_busy[w] += got;
           }
         } else if (done.load(std::memory_order_acquire)) {
           // done was stored (release) after the producer's last push, so
@@ -146,6 +255,8 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
               local_busy[w] += tail;
             }
           }
+          pressure[w].store(static_cast<int>(engine.pressure().level),
+                            std::memory_order_relaxed);
           break;
         } else {
           tel_idle.inc();
@@ -156,9 +267,87 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     });
   }
 
+  // Watchdog: heartbeat the workers' progress atomics. A worker that made
+  // zero progress across `watchdog_stall_intervals` periods while its queue
+  // holds work is reported stalled (once per episode). It also aggregates
+  // the published WSAF pressure levels and, when shed_on_wsaf_pressure is
+  // set, holds the shed ladder's floor at 1 while any shard is saturated.
+  std::thread watchdog;
+  if (ov.watchdog_interval_ms > 0) {
+    watchdog = std::thread([&] {
+      const auto period = std::chrono::duration<double, std::milli>(
+          ov.watchdog_interval_ms);
+      std::vector<std::uint64_t> last(n, 0);
+      std::vector<unsigned> still(n, 0);
+      std::vector<bool> reported(n, false);
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        int worst = 0;
+        for (unsigned w = 0; w < n; ++w) {
+          const auto now = progress[w].load(std::memory_order_relaxed);
+          if (now == last[w] && queues[w]->size_approx() > 0) {
+            if (++still[w] >= ov.watchdog_stall_intervals && !reported[w]) {
+              reported[w] = true;
+              tel_worker_stalled_[w].inc();
+              watchdog_reports.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            still[w] = 0;
+            reported[w] = false;
+          }
+          last[w] = now;
+          worst = std::max(worst, pressure[w].load(std::memory_order_relaxed));
+        }
+        tel_wsaf_pressure_.set(static_cast<double>(worst));
+        int peak = pressure_peak.load(std::memory_order_relaxed);
+        while (worst > peak &&
+               !pressure_peak.compare_exchange_weak(
+                   peak, worst, std::memory_order_relaxed)) {
+        }
+        if (ov.shed_on_wsaf_pressure) {
+          shed_floor.store(
+              worst >= static_cast<int>(core::WsafPressureLevel::kSaturated)
+                  ? 1u
+                  : 0u,
+              std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
   // Manager: dispatch by popcount(src IP) — the paper's queue selector.
   // Paced mode spins until each packet's wall-clock slot arrives, emulating
   // line-rate arrival instead of preloaded replay.
+  auto& fault_queue_full = resilience::faultpoint("runtime.queue_full");
+  const auto try_push = [&](SpscQueue<QueueItem>& queue,
+                            const QueueItem& item) {
+    // An injected queue-full fault makes the push fail exactly as a real
+    // full ring would — the policies cannot tell the difference.
+    if (fault_queue_full.fire()) return false;
+    return queue.try_push(item);
+  };
+  const auto note_stall = [&](unsigned w, std::size_t depth) {
+    tel_producer_stalls_.inc();
+    if constexpr (telemetry::kEnabled) {
+      // Manager's own track (index = workers); aux says which queue.
+      if (config_.trace) {
+        config_.trace->emit(n, telemetry::TraceEventKind::kQueueStall, 0,
+                            static_cast<double>(depth), w);
+      }
+    } else {
+      ++local_stalls;
+    }
+  };
+
+  // Shed-ladder state, all manager-local (the ladder is per worker queue).
+  std::vector<unsigned> level(n, 0);
+  std::vector<unsigned> stall_streak(n, 0);
+  std::vector<std::uint64_t> clean_streak(n, 0);
+  std::vector<std::uint64_t> shed_seq(n, 0);
+  const auto clean_depth = static_cast<std::size_t>(
+      static_cast<double>(config_.queue_capacity) * ov.clean_depth_fraction);
+  unsigned shed_level_peak = 0;
+
   const bool paced = pace_pps > 0;
   std::uint64_t dispatched = 0;
   for (const auto& rec : trace.packets) {
@@ -174,39 +363,126 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     }
     const unsigned w = worker_of(rec.key);
     auto& queue = *queues[w];
-    if (const auto depth = queue.size_approx();
-        depth > stats.max_queue_depth[w]) {
+    const auto depth = queue.size_approx();
+    if (depth > stats.max_queue_depth[w]) {
       stats.max_queue_depth[w] = depth;
       tel_queue_depth_max_[w].set(static_cast<double>(depth));
     }
-    while (!queue.try_push(&rec)) {
-      tel_producer_stalls_.inc();
-      if constexpr (telemetry::kEnabled) {
-        // Manager's own track (index = workers); aux says which queue.
-        if (config_.trace) {
-          config_.trace->emit(n, telemetry::TraceEventKind::kQueueStall, 0,
-                              static_cast<double>(queue.size_approx()), w);
+
+    QueueItem item{&rec, 1};
+    switch (ov.policy) {
+      case OverloadPolicy::kBlock: {
+        while (!try_push(queue, item)) {
+          note_stall(w, queue.size_approx());
+          std::this_thread::yield();
         }
-      } else {
-        ++local_stalls;
+        break;
       }
-      std::this_thread::yield();
+      case OverloadPolicy::kDropTail: {
+        bool pushed = false;
+        for (unsigned r = 0; r <= ov.full_queue_retries; ++r) {
+          if (try_push(queue, item)) {
+            pushed = true;
+            break;
+          }
+          note_stall(w, queue.size_approx());
+          std::this_thread::yield();
+        }
+        if (!pushed) {
+          tel_dropped_[w].inc();
+          if constexpr (!telemetry::kEnabled) ++local_dropped[w];
+        }
+        break;
+      }
+      case OverloadPolicy::kShed: {
+        // Effective rung: the ladder's own level, lifted to the watchdog's
+        // floor while a shard's WSAF is saturated. Admission rate 1/2^lvl;
+        // each admitted packet carries weight 2^lvl so estimates stay
+        // unbiased.
+        const unsigned lvl = std::min(
+            {std::max(level[w], shed_floor.load(std::memory_order_relaxed)),
+             ov.max_shed_level, 31u});
+        shed_level_peak = std::max(shed_level_peak, lvl);
+        if (lvl > 0) {
+          const std::uint64_t seq = shed_seq[w]++;
+          if ((seq & ((std::uint64_t{1} << lvl) - 1)) != 0) {
+            tel_shed_[w].inc();
+            if constexpr (!telemetry::kEnabled) ++local_shed[w];
+            break;
+          }
+          item.weight = std::uint32_t{1} << lvl;
+        }
+        bool pushed = false;
+        bool contended = false;
+        for (unsigned r = 0; r <= ov.full_queue_retries; ++r) {
+          if (try_push(queue, item)) {
+            pushed = true;
+            break;
+          }
+          contended = true;
+          note_stall(w, queue.size_approx());
+          std::this_thread::yield();
+        }
+        if (!pushed) {
+          // The admitted packet could not be delivered either: it is shed
+          // (its compensation weight is lost — that is the accuracy price
+          // of sustained overload, bounded by the ladder climbing below).
+          tel_shed_[w].inc();
+          if constexpr (!telemetry::kEnabled) ++local_shed[w];
+        }
+        if (contended) {
+          clean_streak[w] = 0;
+          if (++stall_streak[w] >= ov.escalate_after_stalls) {
+            stall_streak[w] = 0;
+            if (level[w] < ov.max_shed_level) {
+              ++level[w];
+              tel_shed_level_[w].set(static_cast<double>(level[w]));
+            }
+          }
+        } else if (depth < clean_depth) {
+          if (++clean_streak[w] >= ov.decay_after_clean) {
+            clean_streak[w] = 0;
+            if (level[w] > 0) {
+              --level[w];
+              tel_shed_level_[w].set(static_cast<double>(level[w]));
+            }
+          }
+        } else {
+          clean_streak[w] = 0;
+        }
+        break;
+      }
     }
   }
   done.store(true, std::memory_order_release);
   for (auto& t : workers) t.join();
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
   const auto end = std::chrono::steady_clock::now();
 
   stats.wall_seconds = std::chrono::duration<double>(end - start).count();
-  stats.mpps = stats.wall_seconds > 0
-                   ? static_cast<double>(stats.packets) / stats.wall_seconds / 1e6
-                   : 0.0;
+  stats.shed_level_peak = shed_level_peak;
+  stats.watchdog_stall_reports = watchdog_reports.load();
+  // Pressure peak: the watchdog's running maximum, refreshed with the final
+  // post-join levels so short runs (or watchdog-off runs) still report it.
+  int peak = pressure_peak.load();
+  for (unsigned w = 0; w < n; ++w) {
+    peak = std::max(peak, static_cast<int>(engines_[w]->pressure().level));
+  }
+  stats.wsaf_pressure_peak = peak;
+  tel_wsaf_pressure_.set(static_cast<double>(peak));
+
   // Derive the per-run stats from the registry (counter deltas over the
   // run); the compiled-out build substitutes the local tallies.
   if constexpr (telemetry::kEnabled) {
     stats.producer_stalls = tel_producer_stalls_.value() - stalls0;
     for (unsigned w = 0; w < n; ++w) {
       stats.per_worker_packets[w] = tel_worker_packets_[w].value() - packets0[w];
+      const auto dropped = tel_dropped_[w].value() - dropped0[w];
+      const auto shed = tel_shed_[w].value() - shed0[w];
+      stats.per_worker_dropped[w] = dropped + shed;
+      stats.dropped += dropped;
+      stats.shed += shed;
       const auto busy = tel_busy_polls_[w].value() - busy0[w];
       const auto idle = tel_idle_polls_[w].value() - idle0[w];
       const auto total = busy + idle;
@@ -217,6 +493,9 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     stats.producer_stalls = local_stalls;
     for (unsigned w = 0; w < n; ++w) {
       stats.per_worker_packets[w] = local_packets[w];
+      stats.per_worker_dropped[w] = local_dropped[w] + local_shed[w];
+      stats.dropped += local_dropped[w];
+      stats.shed += local_shed[w];
       const auto total = local_busy[w] + local_idle[w];
       stats.worker_busy_fraction[w] =
           total ? static_cast<double>(local_busy[w]) /
@@ -224,6 +503,13 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
                 : 0.0;
     }
   }
+  for (unsigned w = 0; w < n; ++w) {
+    stats.processed += stats.per_worker_packets[w];
+  }
+  stats.mpps = stats.wall_seconds > 0
+                   ? static_cast<double>(stats.processed) /
+                         stats.wall_seconds / 1e6
+                   : 0.0;
   tel_runs_.inc();
   tel_mpps_.set(stats.mpps);
   tel_wall_seconds_.add(stats.wall_seconds);

@@ -7,6 +7,18 @@
 // also guarantees all packets of a flow reach the same worker (popcount is
 // a pure function of the key), so shards never need cross-worker merging
 // for per-flow counts.
+//
+// Overload model (resilience tentpole): what the manager does when a
+// worker queue is full is a policy, not an accident. kBlock spins (lossless
+// replay, today's behavior); kDropTail waits a bounded number of retries
+// then drops with exact accounting; kShed climbs a graceful-degradation
+// ladder — sample 1/2, 1/4, ... of packets and compensate the admitted
+// ones with a matching weight so estimates stay unbiased while queue
+// pressure falls. In every mode the invariant
+//   offered == processed + dropped + shed
+// holds exactly. An optional watchdog thread heartbeats the workers and
+// reports stalled/lagging ones (and WSAF overload pressure) through
+// telemetry.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +40,54 @@ enum class DispatchPolicy {
   kFlowHash,  ///< full key hash mod N — better balanced (see ablation)
 };
 
+/// What the manager does when a worker queue stays full.
+enum class OverloadPolicy {
+  kBlock,     ///< spin until space frees (lossless; replay default)
+  kDropTail,  ///< bounded wait, then drop the packet (exact drop counters)
+  kShed,      ///< graceful-degradation ladder: sample + weight-compensate
+};
+
+[[nodiscard]] constexpr const char* to_string(OverloadPolicy p) noexcept {
+  switch (p) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kDropTail: return "drop-tail";
+    case OverloadPolicy::kShed: return "shed";
+  }
+  return "?";
+}
+
+struct OverloadConfig {
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// kDropTail/kShed: failed push attempts (a yield apart) tolerated per
+  /// packet before the packet is dropped/shed.
+  unsigned full_queue_retries = 64;
+  /// kShed: full-queue events at the current rung before climbing one
+  /// (halving the admission rate again).
+  unsigned escalate_after_stalls = 64;
+  /// kShed: ladder ceiling; admission rate floor is 1/2^max_shed_level.
+  unsigned max_shed_level = 6;
+  /// kShed: consecutive uncontended dispatches to a worker before its
+  /// ladder steps back down one rung (pressure cleared).
+  std::uint64_t decay_after_clean = 8192;
+  /// kShed: a dispatch counts as uncontended when it pushed on the first
+  /// try and the queue was below this fraction of capacity.
+  double clean_depth_fraction = 0.25;
+  /// kShed: when the watchdog sees a worker's WSAF at saturated pressure,
+  /// hold that ladder at >= 1 (shed before accuracy silently collapses).
+  bool shed_on_wsaf_pressure = false;
+  /// Watchdog heartbeat period; 0 disables the watchdog thread.
+  double watchdog_interval_ms = 0.0;
+  /// Heartbeat intervals a worker may make zero progress with a non-empty
+  /// queue before it is reported stalled.
+  unsigned watchdog_stall_intervals = 4;
+};
+
 struct MultiCoreConfig {
   unsigned workers = 4;
+  /// SPSC ring size; must be a power of two >= 2 (validated, not rounded).
   std::size_t queue_capacity = 1 << 14;
   DispatchPolicy dispatch = DispatchPolicy::kPopcount;
+  OverloadConfig overload{};
   /// Workers drain their queue in bursts either through the engine's
   /// batched prefetch pipeline (default) or as scalar process() calls.
   /// Semantically invisible — per-shard state is bit-identical either way
@@ -44,9 +100,8 @@ struct MultiCoreConfig {
   /// reachable via registry(), so metrics are always available.
   telemetry::Registry* registry = nullptr;
   /// Flight recorder shared by every worker. Track w is worker w's ring and
-  /// track `workers` is the manager's, so size the recorder with
-  /// tracks >= workers + 1 — workers whose track does not exist trace
-  /// nothing (out-of-range emits are counted dropped, never racy).
+  /// track `workers` is the manager's, so the recorder must be sized with
+  /// tracks >= workers + 1 (validated at construction).
   telemetry::TraceRecorder* trace = nullptr;
 };
 
@@ -54,18 +109,30 @@ struct MultiCoreConfig {
 /// engine's registry counters over the run (the registry is the source of
 /// truth, live-updated while the run progresses); the compiled-out build
 /// falls back to thread-local tallies so the numbers survive either way.
+/// Accounting invariant (all policies, any fault schedule):
+///   offered == processed + dropped + shed, exactly.
 struct RunStats {
   double wall_seconds = 0;
-  double mpps = 0;                       ///< packets / wall time
-  std::uint64_t packets = 0;
+  double mpps = 0;                       ///< processed packets / wall time
+  std::uint64_t packets = 0;             ///< offered = trace size
+  std::uint64_t processed = 0;           ///< reached a worker engine
+  std::uint64_t dropped = 0;             ///< kDropTail bounded-wait losses
+  std::uint64_t shed = 0;                ///< kShed ladder losses (compensated)
   std::uint64_t producer_stalls = 0;     ///< full-queue backoffs
-  std::vector<std::uint64_t> per_worker_packets;
+  unsigned shed_level_peak = 0;          ///< deepest ladder rung reached
+  std::uint64_t watchdog_stall_reports = 0;
+  int wsaf_pressure_peak = 0;            ///< worst shard WsafPressureLevel seen
+  std::vector<std::uint64_t> per_worker_packets;   ///< processed per worker
+  std::vector<std::uint64_t> per_worker_dropped;   ///< dropped + shed per worker
   std::vector<std::size_t> max_queue_depth;
   std::vector<double> worker_busy_fraction;  ///< busy polls / total polls
 };
 
 class MultiCoreEngine {
  public:
+  /// Throws std::invalid_argument when the config is unusable: zero
+  /// workers, a queue capacity that is not a power of two >= 2, or a
+  /// flight recorder with fewer than workers + 1 tracks.
   explicit MultiCoreEngine(const MultiCoreConfig& config);
   ~MultiCoreEngine();
 
@@ -75,7 +142,8 @@ class MultiCoreEngine {
   /// Replay a preloaded trace at maximum speed (throughput mode, Fig 9a),
   /// or paced at `pace_pps` packets/second of wall time when pace_pps > 0
   /// (deployment mode, Fig 12: queue depth under real-time arrival).
-  /// Blocks until every packet is processed; returns timing statistics.
+  /// Blocks until every admitted packet is processed; returns timing and
+  /// overload-accounting statistics.
   RunStats run(const trace::Trace& trace, double pace_pps = 0);
 
   /// Worker index a key routes to, per the configured dispatch policy.
@@ -115,6 +183,14 @@ class MultiCoreEngine {
   }
 
  private:
+  /// What travels on a worker queue: the packet plus the shed-compensation
+  /// weight (1 except under kShed pressure; an admitted packet with weight
+  /// w stands for w offered packets).
+  struct QueueItem {
+    const netio::PacketRecord* rec = nullptr;
+    std::uint32_t weight = 1;
+  };
+
   MultiCoreConfig config_;
   std::vector<std::unique_ptr<core::InstaMeasure>> engines_;
   std::unique_ptr<telemetry::Registry> owned_registry_;
@@ -123,11 +199,16 @@ class MultiCoreEngine {
   std::vector<telemetry::Counter> tel_worker_packets_;
   std::vector<telemetry::Counter> tel_busy_polls_;
   std::vector<telemetry::Counter> tel_idle_polls_;
+  std::vector<telemetry::Counter> tel_dropped_;
+  std::vector<telemetry::Counter> tel_shed_;
+  std::vector<telemetry::Counter> tel_worker_stalled_;
   std::vector<telemetry::Gauge> tel_queue_depth_max_;
+  std::vector<telemetry::Gauge> tel_shed_level_;
   telemetry::Counter tel_producer_stalls_;
   telemetry::Counter tel_runs_;
   telemetry::Gauge tel_mpps_;
   telemetry::Gauge tel_wall_seconds_;
+  telemetry::Gauge tel_wsaf_pressure_;
 };
 
 }  // namespace instameasure::runtime
