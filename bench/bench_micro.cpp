@@ -176,6 +176,33 @@ void BM_EngineProcessBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineProcessBatch)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+// The batched pipeline (batch = 32) with the live query plane publishing
+// at its default auto cadence — the full data-plane cost of keeping the
+// WSAF queryable while it is written. The acceptance budget is <2% below
+// BM_EngineProcessBatch/32 (scripts/check_query_overhead.sh gates CI at
+// published >= 0.98x unpublished).
+void BM_EngineProcessBatchPublished(benchmark::State& state) {
+  auto config = engine_bench_config();
+  config.publish_views = true;  // cadence: auto = max(2^16, slots * 8)
+  core::InstaMeasure engine{config};
+  auto packets = engine_bench_packets();
+  constexpr std::size_t kBatch = 32;
+  std::size_t off = 0;
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    const std::span<netio::PacketRecord> slice{&packets[off], kBatch};
+    for (auto& p : slice) p.timestamp_ns = ++now;
+    engine.process_batch(slice);
+    off = (off + kBatch) & kEnginePoolMask;
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kBatch) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["views"] = benchmark::Counter(
+      static_cast<double>(engine.view_publisher()->publishes()));
+}
+BENCHMARK(BM_EngineProcessBatchPublished);
+
 // Same fast path with every metric exported to a registry and detection
 // enabled — the full observability cost. The delta vs BM_EngineProcess is
 // what a scraped deployment pays per packet (<3% is the budget).

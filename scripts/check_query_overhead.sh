@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Release-build guard for the live query plane's data-plane cost: builds
+# bench_micro, runs BM_EngineProcessBatch/32 (no publishing) and
+# BM_EngineProcessBatchPublished (publishing at the default auto cadence)
+# over the shared DRAM-resident workload, and fails if publishing costs
+# more than (1 - TOLERANCE) of throughput. The budget is <2%; the default
+# floor 0.98 enforces exactly that, with MIN_TIME long enough to span many
+# publish intervals.
+#
+# Usage: scripts/check_query_overhead.sh
+#   BUILD=build-bench TOLERANCE=0.98 MIN_TIME=2.0 to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build-bench}
+TOLERANCE=${TOLERANCE:-0.98}
+MIN_TIME=${MIN_TIME:-2.0}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target bench_micro >/dev/null
+
+JSON=$(mktemp)
+trap 'rm -f "$JSON"' EXIT
+"$BUILD"/bench/bench_micro \
+  --benchmark_filter="^BM_EngineProcessBatch(/32|Published)\$" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$JSON"
+
+python3 - "$JSON" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+path, tolerance = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    report = json.load(f)
+mpps = {
+    b["name"]: b["Mpps"]
+    for b in report["benchmarks"]
+    if b.get("run_type", "iteration") == "iteration" and "Mpps" in b
+}
+plain = mpps["BM_EngineProcessBatch/32"]
+published = mpps["BM_EngineProcessBatchPublished"]
+ratio = published / plain
+print(f"batch/32 (no publish) {plain:8.3f} Mpps")
+print(f"batch/32 + publish    {published:8.3f} Mpps")
+print(f"ratio                 {ratio:8.3f}  (floor {tolerance})")
+if ratio < tolerance:
+    print("FAIL: query-plane publishing exceeds its throughput budget")
+    sys.exit(1)
+print("OK: publish overhead within budget")
+EOF

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Build with sanitizers and run the concurrency-sensitive test suites
 # (telemetry registry, SPSC queue, multi-core runtime, flight recorder,
-# and the fault-injection chaos suite in tests/test_resilience.cpp).
+# the fault-injection chaos suite in tests/test_resilience.cpp, and the
+# live query plane — including the QueryPlane ingest/query hammer in
+# tests/test_query_engine.cpp, where readers race worker publishes).
 # The telemetry fast path is wait-free single-writer atomics and the
 # multi-core batch pipeline prefetches shared-nothing shards — exactly the
 # kind of code where a stray data race or UB hides until a sanitizer
@@ -18,8 +20,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline"}
-TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue|OverloadChaos|OverloadPaced|Watchdog"}
+FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline|SnapshotChannel|QueryEngine|QueryPlane"}
+TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue|OverloadChaos|OverloadPaced|Watchdog|QueryPlane"}
 
 run_phase() {
   local sanitize=$1 build=$2 filter=$3 repeat=$4
@@ -27,7 +29,7 @@ run_phase() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$build" -j --target \
     test_telemetry test_spsc test_multicore test_flight_recorder \
-    test_resilience >/dev/null
+    test_resilience test_query_engine >/dev/null
   ctest --test-dir "$build" -R "$filter" --output-on-failure -j "$(nproc)" \
     --repeat "until-fail:$repeat"
   echo "sanitized ($sanitize) test run passed"

@@ -7,12 +7,19 @@
 // into a history, and optionally resets the measurement state so each
 // epoch reports fresh counts (interval mode) instead of running totals
 // (cumulative mode).
+//
+// Epoch snapshots are built on WsafView — the same record type the live
+// query plane publishes — so one table scan per rotation serves both
+// rankings, and `retain_views` keeps the full per-epoch flow view for
+// offline analysis (merge histories with view_top_k/view_heavy_hitters).
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/instameasure.h"
+#include "core/wsaf_view.h"
 
 namespace instameasure::core {
 
@@ -23,6 +30,9 @@ struct EpochConfig {
   /// true: counters reset at each boundary (per-epoch deltas);
   /// false: counters accumulate for the whole run (paper's protocol).
   bool reset_each_epoch = false;
+  /// Keep the full WsafView of each epoch in its snapshot (every live
+  /// flow, not just the top-K). Costs one view copy per rotation.
+  bool retain_views = false;
 };
 
 struct EpochSnapshot {
@@ -31,6 +41,7 @@ struct EpochSnapshot {
   std::uint64_t packets_processed = 0;
   std::vector<TopKItem> top_packets;  ///< descending
   std::vector<TopKItem> top_bytes;    ///< descending
+  WsafView view;                      ///< full view iff retain_views
 };
 
 class EpochEngine {
@@ -68,8 +79,16 @@ class EpochEngine {
     snap.epoch_index = history_.size();
     snap.boundary_ns = boundary_ns;
     snap.packets_processed = engine_.packets_processed() - packets_at_rotate_;
-    snap.top_packets = engine_.top_k_packets(config_.snapshot_top_k);
-    snap.top_bytes = engine_.top_k_bytes(config_.snapshot_top_k);
+    // One table scan serves both rankings: the rotation builds the same
+    // WsafView the live query plane would publish at this boundary.
+    engine_.wsaf().fill_view(scratch_, boundary_ns);
+    scratch_.version = snap.epoch_index + 1;
+    const WsafView* views[] = {&scratch_};
+    snap.top_packets =
+        view_top_k(views, config_.snapshot_top_k, TopKMetric::kPackets);
+    snap.top_bytes =
+        view_top_k(views, config_.snapshot_top_k, TopKMetric::kBytes);
+    if (config_.retain_views) snap.view = scratch_;
     history_.push_back(std::move(snap));
     if (config_.reset_each_epoch) {
       engine_.reset();
@@ -81,6 +100,7 @@ class EpochEngine {
 
   EpochConfig config_;
   InstaMeasure engine_;
+  WsafView scratch_;  ///< recycled across rotations (capacity retained)
   std::vector<EpochSnapshot> history_;
   bool started_ = false;
   std::uint64_t epoch_end_ = 0;

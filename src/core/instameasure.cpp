@@ -25,6 +25,11 @@ using SteadyClock = std::chrono::steady_clock;
 /// sub-structure configs so one assignment at the top instruments the
 /// whole stack.
 [[nodiscard]] EngineConfig propagated(EngineConfig config) {
+  // The WSAF is indexed by hashes the engine computes with config.seed, so
+  // the table's own seed (which stamps view flow_hashes and the snapshot
+  // header) must be the same value — otherwise views and snapshots would
+  // describe a hash domain the slots were never derived from.
+  config.wsaf.seed = config.seed;
   if (config.registry != nullptr) {
     if (config.regulator.registry == nullptr) {
       config.regulator.registry = config.registry;
@@ -57,6 +62,20 @@ InstaMeasure::InstaMeasure(const EngineConfig& config)
       trace_(config_.trace),
       trace_track_(config_.trace_track) {
   if (config.track_top_k > 0) tracker_.emplace(config.track_top_k);
+  if (config_.publish_views) {
+    auto pub = config_.publish;
+    // Inherit the engine's instrumentation wiring unless the caller set
+    // its own (same propagation rule as the regulator/WSAF configs).
+    if (pub.registry == nullptr && config_.registry != nullptr) {
+      pub.registry = config_.registry;
+      pub.labels = config_.labels;
+    }
+    if (pub.trace == nullptr && config_.trace != nullptr) {
+      pub.trace = config_.trace;
+      pub.trace_track = config_.trace_track;
+    }
+    publisher_ = std::make_unique<ViewPublisher>(pub);
+  }
   sample_mask_ = config_.telemetry_sample_shift >= 64
                      ? ~std::uint64_t{0}
                      : (std::uint64_t{1} << config_.telemetry_sample_shift) - 1;
@@ -113,13 +132,17 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
       // the (rare, ~1%) event path keeps the gauge live for free.
       tel_ips_pps_ratio_.set(regulator_.regulation_rate());
     }
-    if (tracker_) tracker_->update(rec.key, flow_hash, totals.packets);
+    if (tracker_) {
+      tracker_->update(rec.key, flow_hash, totals.packets, totals.bytes,
+                       totals.first_seen_ns, rec.timestamp_ns);
+    }
     if (config_.heavy_hitter.packet_threshold > 0 ||
         config_.heavy_hitter.byte_threshold > 0) {
       check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
                          totals.first_seen_ns, rec.timestamp_ns);
     }
   }
+  if (publisher_) publisher_->maybe_publish(wsaf_, rec.timestamp_ns);
 
   if (sampled) tel_process_ns_.record(ns_between(t0, SteadyClock::now()));
 }
@@ -221,12 +244,22 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
       tel_event_accumulate_ns_.record(ns_between(e0, SteadyClock::now()));
       tel_ips_pps_ratio_.set(regulator_.regulation_rate());
     }
-    if (tracker_) tracker_->update(rec.key, flow_hash, totals.packets);
+    if (tracker_) {
+      tracker_->update(rec.key, flow_hash, totals.packets, totals.bytes,
+                       totals.first_seen_ns, rec.timestamp_ns);
+    }
     if (config_.heavy_hitter.packet_threshold > 0 ||
         config_.heavy_hitter.byte_threshold > 0) {
       check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
                          totals.first_seen_ns, rec.timestamp_ns);
     }
+  }
+
+  if (publisher_) {
+    // One cadence tick per chunk: `n` packets at the last record's trace
+    // time. Publishing between chunks (never mid-chunk) keeps the batched
+    // and scalar paths' WSAF state bit-identical — fill_view only reads.
+    publisher_->maybe_publish(wsaf_, recs[n - 1].timestamp_ns, n);
   }
 
   if (telemetry::kEnabled && sampled != 0) {

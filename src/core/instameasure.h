@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_set>
@@ -19,6 +20,7 @@
 #include "core/flow_regulator.h"
 #include "core/topk_tracker.h"
 #include "core/topk.h"
+#include "core/view_publisher.h"
 #include "core/wsaf_table.h"
 #include "netio/packet.h"
 
@@ -46,6 +48,9 @@ struct EngineConfig {
   /// the accumulate path: current_top_k() answers in O(K) with no WSAF
   /// scan. 0 disables (top_k_packets() still works via scan).
   std::size_t track_top_k = 0;
+  /// Seed of the single per-packet flow hash. Propagates into wsaf.seed
+  /// (overriding it) so view flow_hashes and snapshot headers describe the
+  /// hash domain the table is actually indexed by.
   std::uint64_t seed = 0xace;
   /// When set, engine + regulator + WSAF metrics are exported here, every
   /// series tagged with `labels` (MultiCoreEngine adds worker="N").
@@ -61,6 +66,13 @@ struct EngineConfig {
   /// timed (steady_clock), amortizing the clock cost to <0.2 ns/packet at
   /// the default 1/256. Only meaningful when telemetry is compiled in.
   unsigned telemetry_sample_shift = 8;
+  /// Live query plane: when true, the engine owns a ViewPublisher and
+  /// publishes WsafViews of its shard at the cadence in `publish` —
+  /// readers reach them through view_channel() (typically via a
+  /// QueryEngine) while packets keep flowing. The publish tick is one
+  /// branch per scalar packet / one per 64-packet chunk when batched.
+  bool publish_views = false;
+  ViewPublishConfig publish{};
   /// Software prefetch in the batched path: the layout pass prefetches
   /// each packet's sketch lines a full chunk (up to 64 packets) ahead of
   /// the update pass, and saturation events' WSAF slots get the rest of
@@ -127,6 +139,24 @@ class InstaMeasure {
   }
   [[nodiscard]] const WsafTable& wsaf() const noexcept { return wsaf_; }
 
+  /// The query plane's reader endpoint (null unless publish_views). Hand
+  /// it to a QueryEngine; safe to read from any thread while the engine
+  /// processes packets.
+  [[nodiscard]] const SnapshotChannel* view_channel() const noexcept {
+    return publisher_ ? &publisher_->channel() : nullptr;
+  }
+  [[nodiscard]] const ViewPublisher* view_publisher() const noexcept {
+    return publisher_.get();
+  }
+
+  /// Publish a fresh view immediately (writer thread only — the thread
+  /// that calls process()). Used at end-of-run so the final view reflects
+  /// every packet. Returns false when publishing is off or skipped.
+  bool publish_view_now() {
+    return publisher_ ? publisher_->publish_now(wsaf_, wsaf_.latest_ns())
+                      : false;
+  }
+
   /// Overload signal of the measurement state (currently the WSAF's
   /// occupancy/eviction pressure — the structure whose overload silently
   /// degrades accuracy). The runtime reports this and can shed on it.
@@ -171,6 +201,7 @@ class InstaMeasure {
   FlowRegulator regulator_;
   WsafTable wsaf_;
   std::vector<HhDetection> detections_;
+  std::unique_ptr<ViewPublisher> publisher_;  ///< null unless publish_views
   std::optional<TopKTracker> tracker_;
   std::unordered_set<std::uint64_t> reported_pkt_;
   std::unordered_set<std::uint64_t> reported_byte_;

@@ -1,0 +1,163 @@
+// SnapshotChannel: single-writer, multi-reader hand-off of WsafViews.
+//
+// The live query plane's core primitive. The data-plane writer (a worker
+// thread, or the scalar engine between packets) periodically fills a view
+// and commits it; reader threads acquire the latest committed view with
+// one atomic load plus a refcount, and never see a torn or half-written
+// snapshot. The writer NEVER blocks on readers: it writes only into a
+// buffer no reader holds, and when every spare buffer is pinned by
+// straggling readers it skips that publish (counted) instead of waiting —
+// backpressure falls on snapshot freshness, not on packet processing.
+//
+// Memory-ordering sketch (all `current_`/`refs` operations are seq_cst; a
+// total order S over them is what makes the reclamation safe):
+//   - writer: fill buffer B -> store current_ = B        (publish)
+//   - reader: load current_ -> B, refs[B]++, re-check current_ == B
+//             (validated acquire), read entries, refs[B]--
+//   - writer reuse of A: requires current_ != A (it moved on) AND
+//     refs[A] == 0. A reader that loaded a stale current_ == A and
+//     incremented refs[A] *after* the writer's refs check must — by the
+//     seq_cst order — observe the newer current_ in its re-check, so it
+//     backs out without touching A's entries. A reader whose re-check
+//     passes is ordered before the writer's refs load, so the writer sees
+//     its pin and picks another buffer (or skips).
+//
+// Three buffers suffice for the common case (one current, one being
+// refilled, one pinned by a straggler); a fourth absorbs scheduling jitter
+// so skips are rare in practice.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "core/wsaf_view.h"
+
+namespace instameasure::core {
+
+class SnapshotChannel {
+ public:
+  static constexpr unsigned kBuffers = 4;
+
+  SnapshotChannel() = default;
+  SnapshotChannel(const SnapshotChannel&) = delete;
+  SnapshotChannel& operator=(const SnapshotChannel&) = delete;
+
+  /// RAII read pin. While alive, the underlying view cannot be recycled by
+  /// the writer. Empty (operator bool == false) when nothing was ever
+  /// published. Movable, not copyable; keep it short-lived — a pinned
+  /// buffer is one the writer cannot reuse.
+  class ReadView {
+   public:
+    ReadView() = default;
+    ReadView(ReadView&& other) noexcept
+        : channel_(other.channel_), index_(other.index_) {
+      other.channel_ = nullptr;
+    }
+    ReadView& operator=(ReadView&& other) noexcept {
+      if (this != &other) {
+        release();
+        channel_ = other.channel_;
+        index_ = other.index_;
+        other.channel_ = nullptr;
+      }
+      return *this;
+    }
+    ReadView(const ReadView&) = delete;
+    ReadView& operator=(const ReadView&) = delete;
+    ~ReadView() { release(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return channel_ != nullptr;
+    }
+    [[nodiscard]] const WsafView& operator*() const noexcept {
+      return channel_->buffers_[index_].view;
+    }
+    [[nodiscard]] const WsafView* operator->() const noexcept {
+      return &channel_->buffers_[index_].view;
+    }
+
+   private:
+    friend class SnapshotChannel;
+    ReadView(const SnapshotChannel* channel, unsigned index) noexcept
+        : channel_(channel), index_(index) {}
+    void release() noexcept {
+      if (channel_ != nullptr) {
+        channel_->buffers_[index_].refs.fetch_sub(1, std::memory_order_seq_cst);
+        channel_ = nullptr;
+      }
+    }
+    const SnapshotChannel* channel_ = nullptr;
+    unsigned index_ = 0;
+  };
+
+  /// Reader side: pin and return the latest committed view. Lock-free; the
+  /// validation loop retries only when a publish lands mid-acquire.
+  [[nodiscard]] ReadView read() const noexcept {
+    for (;;) {
+      const int current = current_.load(std::memory_order_seq_cst);
+      if (current < 0) return {};
+      auto& buf = buffers_[static_cast<unsigned>(current)];
+      buf.refs.fetch_add(1, std::memory_order_seq_cst);
+      if (current_.load(std::memory_order_seq_cst) == current) {
+        return {this, static_cast<unsigned>(current)};
+      }
+      // A newer view was committed (and this buffer may be refilling):
+      // back out without reading the entries and take the newer one.
+      buf.refs.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Writer side, step 1: borrow a buffer no reader can observe. Returns
+  /// nullptr when every spare buffer is pinned — the caller must skip this
+  /// publish (skipped_publishes() counts them) rather than wait.
+  [[nodiscard]] WsafView* begin_publish() noexcept {
+    const int current = current_.load(std::memory_order_seq_cst);
+    for (unsigned i = 0; i < kBuffers; ++i) {
+      if (static_cast<int>(i) == current) continue;
+      if (buffers_[i].refs.load(std::memory_order_seq_cst) == 0) {
+        pending_ = static_cast<int>(i);
+        return &buffers_[i].view;
+      }
+    }
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Writer side, step 2: make the buffer returned by begin_publish() the
+  /// current view. Stamps the version (monotone per channel).
+  void commit() noexcept {
+    auto& buf = buffers_[static_cast<unsigned>(pending_)];
+    buf.view.version = ++version_;
+    current_.store(pending_, std::memory_order_seq_cst);
+  }
+
+  /// Version of the latest committed view; 0 before the first commit.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_published_();
+  }
+
+  /// Publishes skipped because every spare buffer was reader-pinned.
+  [[nodiscard]] std::uint64_t skipped_publishes() const noexcept {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    WsafView view;
+    mutable std::atomic<std::uint32_t> refs{0};
+  };
+
+  [[nodiscard]] std::uint64_t version_published_() const noexcept {
+    const auto v = read();
+    return v ? v->version : 0;
+  }
+
+  mutable std::array<Buffer, kBuffers> buffers_{};
+  std::atomic<int> current_{-1};
+  int pending_ = -1;              ///< writer-local: buffer being filled
+  std::uint64_t version_ = 0;     ///< writer-local publish sequence
+  std::atomic<std::uint64_t> skipped_{0};
+};
+
+}  // namespace instameasure::core

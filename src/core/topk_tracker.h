@@ -10,13 +10,19 @@
 // whose running count exceeds the tracked minimum enters the set and the
 // minimum leaves; flows evicted from the WSAF are lazily superseded (their
 // stale entry ages out when K better flows appear).
+//
+// Records are WsafViewEntry — the query plane's flow record — so the
+// tracked set exports directly as a WsafView (as_view()) and publishes
+// through the same SnapshotChannel machinery as full-table snapshots.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/wsaf_view.h"
 #include "netio/flow_key.h"
 
 namespace instameasure::core {
@@ -25,26 +31,32 @@ class TopKTracker {
  public:
   explicit TopKTracker(std::size_t k) : k_(k) {}
 
-  /// Observe a flow's new running total (monotone per flow between WSAF
-  /// evictions; a smaller value after re-insertion is handled).
+  /// Observe a flow's new running totals (monotone per flow between WSAF
+  /// evictions; a smaller value after re-insertion is handled). `value` is
+  /// the ranking metric (the engine feeds packets); bytes/first_seen/
+  /// last_update ride along into the exported view records.
   void update(const netio::FlowKey& key, std::uint64_t flow_hash,
-              double value) {
+              double value, double bytes = 0.0,
+              std::uint64_t first_seen_ns = 0,
+              std::uint64_t last_update_ns = 0) {
     if (k_ == 0) return;
+    const WsafViewEntry rec{key,   flow_hash,     value,
+                            bytes, first_seen_ns, last_update_ns};
     if (const auto it = index_.find(flow_hash); it != index_.end()) {
       // Known flow: reposition.
       ordered_.erase(it->second);
-      it->second = ordered_.emplace(value, Entry{key, flow_hash});
+      it->second = ordered_.emplace(value, rec);
       return;
     }
     if (ordered_.size() < k_) {
-      index_.emplace(flow_hash, ordered_.emplace(value, Entry{key, flow_hash}));
+      index_.emplace(flow_hash, ordered_.emplace(value, rec));
       return;
     }
     const auto min_it = ordered_.begin();
     if (value <= min_it->first) return;  // below the bar
     index_.erase(min_it->second.flow_hash);
     ordered_.erase(min_it);
-    index_.emplace(flow_hash, ordered_.emplace(value, Entry{key, flow_hash}));
+    index_.emplace(flow_hash, ordered_.emplace(value, rec));
   }
 
   /// Current top-K, descending by value.
@@ -55,6 +67,18 @@ class TopKTracker {
       out.emplace_back(it->second.key, it->first);
     }
     return out;
+  }
+
+  /// The tracked set as a WsafView (entries descending by value), ready to
+  /// publish or merge with view_top_k(). `as_of_ns` is the caller's clock.
+  [[nodiscard]] WsafView as_view(std::uint64_t as_of_ns = 0) const {
+    WsafView view;
+    view.as_of_ns = as_of_ns;
+    view.entries.reserve(ordered_.size());
+    for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
+      view.entries.push_back(it->second);
+    }
+    return view;
   }
 
   /// Smallest tracked value (the admission bar), 0 while under capacity.
@@ -72,14 +96,10 @@ class TopKTracker {
   }
 
  private:
-  struct Entry {
-    netio::FlowKey key;
-    std::uint64_t flow_hash;
-  };
-
   std::size_t k_;
-  std::multimap<double, Entry> ordered_;  ///< value -> flow, ascending
-  std::unordered_map<std::uint64_t, std::multimap<double, Entry>::iterator>
+  std::multimap<double, WsafViewEntry> ordered_;  ///< value -> flow, ascending
+  std::unordered_map<std::uint64_t,
+                     std::multimap<double, WsafViewEntry>::iterator>
       index_;
 };
 

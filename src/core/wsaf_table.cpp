@@ -1,6 +1,8 @@
 #include "core/wsaf_table.h"
 
 #include <algorithm>
+
+#include "core/wsaf_view.h"
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -44,9 +46,13 @@ WsafTable::WsafTable(const WsafConfig& config)
     tel_evictions_ = reg.counter("im_wsaf_evictions_total",
                                  "Second-chance/stalest replacements",
                                  config.labels);
-    tel_gc_reclaims_ = reg.counter("im_wsaf_gc_reclaims_total",
-                                   "Idle entries reclaimed during probing",
-                                   config.labels);
+    tel_gc_reclaims_ = reg.counter(
+        "im_wsaf_gc_reclaims_total",
+        "Expired entries whose slot an insert actually overwrote",
+        config.labels);
+    tel_gc_swept_ = reg.counter(
+        "im_wsaf_gc_swept_total",
+        "Expired entries cleared by the background sweep", config.labels);
     tel_rejected_ = reg.counter("im_wsaf_rejected_total",
                                 "Insertions dropped (eviction disabled)",
                                 config.labels);
@@ -72,9 +78,18 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
   ++stats_.accumulates;
   tel_accumulates_.inc();
   if (++window_accumulates_ >= kPressureWindow) roll_pressure_window();
+  if (now_ns > latest_ns_) latest_ns_ = now_ns;
+  if (config_.idle_timeout_ns != 0) {
+    // Amortized occupancy hygiene: without this, expired entries in chains
+    // no live flow probes stay counted as occupied forever and pressure()
+    // overstates load on idle tables.
+    (void)sweep_expired(now_ns, kSweepSlotsPerAccumulate);
+  }
   const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
 
   std::size_t first_free = slots_.size();  // sentinel: none seen
+  bool first_free_expired = false;
+  unsigned first_free_probe = 0;
   for (unsigned i = 0; i < config_.probe_limit; ++i) {
     ++stats_.probes;
     const auto s = slot_of(flow_hash, i);
@@ -87,14 +102,14 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
       continue;
     }
     if (expired(e, now_ns)) {
-      // Inline garbage collection: reclaim expired entries met on the way.
+      // Inline garbage collection: an expired entry is a usable slot. Only
+      // NOTE it here — the reclaim is counted (and traced) if and when the
+      // insert below actually overwrites it; a later key match leaves the
+      // slot untouched and must not inflate the reclaim counter.
       if (first_free == slots_.size()) {
         first_free = s;
-        ++stats_.gc_reclaims;
-        tel_gc_reclaims_.inc();
-        trace_wsaf(trace_, trace_track_,
-                   telemetry::TraceEventKind::kWsafGcReclaim, flow_hash,
-                   e.packets, i);
+        first_free_expired = true;
+        first_free_probe = i;
       }
       continue;
     }
@@ -115,7 +130,15 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
 
   if (first_free != slots_.size()) {
     WsafEntry& e = slots_[first_free];
-    if (!e.occupied) {
+    if (first_free_expired) {
+      // The reclaim happens NOW: the expired entry's slot is overwritten.
+      // Occupancy is unchanged (one dead entry out, one live entry in).
+      ++stats_.gc_reclaims;
+      tel_gc_reclaims_.inc();
+      trace_wsaf(trace_, trace_track_,
+                 telemetry::TraceEventKind::kWsafGcReclaim, flow_hash,
+                 e.packets, first_free_probe);
+    } else {
       ++occupied_;
     }
     e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
@@ -173,24 +196,69 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
   return {e.packets, e.bytes, e.first_seen_ns};
 }
 
-std::optional<WsafEntry> WsafTable::lookup(
-    const netio::FlowKey& key, std::uint64_t flow_hash) const noexcept {
+std::optional<WsafEntry> WsafTable::lookup(const netio::FlowKey& key,
+                                           std::uint64_t flow_hash,
+                                           std::uint64_t now_ns) const noexcept {
   const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
   for (unsigned i = 0; i < config_.probe_limit; ++i) {
     const auto s = slot_of(flow_hash, i);
     const WsafEntry& e = slots_[s];
-    if (e.occupied && e.flow_id == flow_id && e.key == key) return e;
+    if (e.occupied && e.flow_id == flow_id && e.key == key) {
+      // An expired record is one accumulate() would reclaim, not resume:
+      // serving it would report state the write path already considers
+      // dead. Invisible here, consistently with live_entries()/fill_view().
+      if (expired(e, now_ns)) return std::nullopt;
+      return e;
+    }
   }
   return std::nullopt;
 }
 
-std::vector<const WsafEntry*> WsafTable::live_entries() const {
+std::vector<const WsafEntry*> WsafTable::live_entries(
+    std::uint64_t now_ns) const {
   std::vector<const WsafEntry*> out;
   out.reserve(occupied_);
   for (const auto& e : slots_) {
-    if (e.occupied) out.push_back(&e);
+    if (e.occupied && !expired(e, now_ns)) out.push_back(&e);
   }
   return out;
+}
+
+void WsafTable::fill_view(WsafView& view, std::uint64_t now_ns) const {
+  view.clear();
+  view.as_of_ns = now_ns;
+  if (view.entries.capacity() < occupied_) view.entries.reserve(occupied_);
+  for (const auto& e : slots_) {
+    if (!e.occupied || expired(e, now_ns)) continue;
+    view.entries.push_back({e.key,
+                            // Rebuild the 64-bit hash domain the readers
+                            // key on: the entry keeps only the top 32 bits.
+                            e.key.hash(config_.seed), e.packets, e.bytes,
+                            e.first_seen_ns, e.last_update_ns});
+  }
+}
+
+std::size_t WsafTable::sweep_expired(std::uint64_t now_ns,
+                                     std::size_t max_slots) {
+  if (config_.idle_timeout_ns == 0 || occupied_ == 0) return 0;
+  const std::size_t budget =
+      max_slots == 0 ? slots_.size() : std::min(max_slots, slots_.size());
+  std::size_t reclaimed = 0;
+  for (std::size_t visited = 0; visited < budget; ++visited) {
+    WsafEntry& e = slots_[sweep_cursor_];
+    sweep_cursor_ = (sweep_cursor_ + 1) & mask_;
+    if (e.occupied && expired(e, now_ns)) {
+      e = WsafEntry{};
+      --occupied_;
+      ++reclaimed;
+    }
+  }
+  if (reclaimed != 0) {
+    stats_.gc_swept += reclaimed;
+    tel_gc_swept_.inc(reclaimed);
+    tel_occupancy_.set(static_cast<double>(occupied_));
+  }
+  return reclaimed;
 }
 
 namespace {
@@ -269,6 +337,15 @@ WsafTable WsafTable::load(const std::string& path) {
   if (header.log2_entries > 40) {
     throw std::runtime_error("WsafTable::load: implausible table size");
   }
+  if (header.probe_limit == 0) {
+    // A zero probe window makes every lookup/accumulate a no-op; a table
+    // restored from such a header would silently drop all traffic.
+    throw std::runtime_error("WsafTable::load: probe_limit must be > 0");
+  }
+  if (header.occupied > (std::uint64_t{1} << header.log2_entries)) {
+    throw std::runtime_error(
+        "WsafTable::load: occupied count exceeds table capacity");
+  }
 
   WsafConfig config;
   config.log2_entries = header.log2_entries;
@@ -285,6 +362,11 @@ WsafTable WsafTable::load(const std::string& path) {
       throw std::runtime_error("WsafTable::load: slot out of range");
     }
     WsafEntry& e = table.slots_[rec.slot];
+    if (e.occupied) {
+      // Two records claiming one slot means the snapshot is corrupt; the
+      // second write would silently drop the first flow's counters.
+      throw std::runtime_error("WsafTable::load: duplicate slot in snapshot");
+    }
     e.key = netio::FlowKey{rec.src_ip, rec.dst_ip, rec.src_port, rec.dst_port,
                            rec.proto};
     e.flow_id = rec.flow_id;
@@ -294,8 +376,14 @@ WsafTable WsafTable::load(const std::string& path) {
     e.last_update_ns = rec.last_update_ns;
     e.occupied = true;
     e.referenced = rec.referenced != 0;
+    // occupied_ derives from records actually restored, never from the
+    // header's claim (which past the checks above could still disagree).
+    ++table.occupied_;
+    if (rec.last_update_ns > table.latest_ns_) {
+      table.latest_ns_ = rec.last_update_ns;
+    }
   }
-  table.occupied_ = header.occupied;
+  table.tel_occupancy_.set(static_cast<double>(table.occupied_));
   return table;
 }
 
@@ -315,6 +403,8 @@ void WsafTable::reset() {
   window_accumulates_ = 0;
   window_stress_ = 0;
   eviction_pressure_ = 0.0;
+  latest_ns_ = 0;
+  sweep_cursor_ = 0;
   // Telemetry counters stay monotone across resets (Prometheus semantics);
   // only point-in-time gauges rewind.
   tel_occupancy_.set(0);

@@ -27,6 +27,8 @@
 
 namespace instameasure::core {
 
+struct WsafView;  // core/wsaf_view.h — breaks the view->topk->table cycle
+
 /// What to do when a new flow's probe window is full of live entries.
 enum class EvictionPolicy {
   kSecondChance,  ///< the paper's clock scheme (default)
@@ -84,7 +86,14 @@ struct WsafStats {
   std::uint64_t inserts = 0;      ///< new entries created
   std::uint64_t updates = 0;      ///< existing entries incremented
   std::uint64_t evictions = 0;    ///< second-chance replacements
-  std::uint64_t gc_reclaims = 0;  ///< idle entries reclaimed during probing
+  /// Expired entries whose slot was actually overwritten by an insert (the
+  /// inline GC of the probe path). Counted at the overwrite, never when an
+  /// expired slot is merely noted and the probe later finds a key match.
+  std::uint64_t gc_reclaims = 0;
+  /// Expired entries cleared by the background sweep (sweep_expired() and
+  /// the incremental per-accumulate sweep) — reclaims that release
+  /// occupancy without a new flow moving in.
+  std::uint64_t gc_swept = 0;
   std::uint64_t probes = 0;       ///< slots touched
   std::uint64_t rejected = 0;     ///< all probed slots referenced & fresher (never with eviction fallback)
 };
@@ -145,12 +154,49 @@ class WsafTable {
         static_cast<const void*>(slots_.data() + slot_of(flow_hash, 1)), 1, 1);
   }
 
-  /// Find the live entry for a flow, if present.
+  /// Find the live entry for a flow as of `now_ns` (trace time). Entries
+  /// idle past idle_timeout_ns are invisible — accumulate() would treat
+  /// them as expired/GC-able, so returning them would serve dead state.
   [[nodiscard]] std::optional<WsafEntry> lookup(
-      const netio::FlowKey& key, std::uint64_t flow_hash) const noexcept;
+      const netio::FlowKey& key, std::uint64_t flow_hash,
+      std::uint64_t now_ns) const noexcept;
 
-  /// All occupied entries (order unspecified). Top-K layers sort this.
-  [[nodiscard]] std::vector<const WsafEntry*> live_entries() const;
+  /// lookup() as of the table's trace-time high-water mark (the latest
+  /// now_ns any accumulate has seen) — the "current" read for callers
+  /// without their own clock.
+  [[nodiscard]] std::optional<WsafEntry> lookup(
+      const netio::FlowKey& key, std::uint64_t flow_hash) const noexcept {
+    return lookup(key, flow_hash, latest_ns_);
+  }
+
+  /// All live (occupied, not expired as of `now_ns`) entries, order
+  /// unspecified. Top-K layers sort this.
+  [[nodiscard]] std::vector<const WsafEntry*> live_entries(
+      std::uint64_t now_ns) const;
+
+  /// live_entries() as of the trace-time high-water mark.
+  [[nodiscard]] std::vector<const WsafEntry*> live_entries() const {
+    return live_entries(latest_ns_);
+  }
+
+  /// Copy the live entries (same expiry filter as live_entries/lookup)
+  /// into `view`, stamping as_of_ns and the shard's flow count. The view's
+  /// previous contents are recycled (capacity retained); version and
+  /// publish_wall_ns are the publisher's business.
+  void fill_view(WsafView& view, std::uint64_t now_ns) const;
+  void fill_view(WsafView& view) const { fill_view(view, latest_ns_); }
+
+  /// Clear up to `max_slots` expired entries (0 = scan the whole table),
+  /// releasing their occupancy. Resumes from where the last sweep stopped.
+  /// Returns the number of entries reclaimed. accumulate() runs a tiny
+  /// increment of this per call when idle_timeout_ns is set, so occupancy
+  /// and pressure() converge to the live count even when traffic that
+  /// would probe the dead chains never arrives.
+  std::size_t sweep_expired(std::uint64_t now_ns, std::size_t max_slots = 0);
+
+  /// Trace-time high-water mark: the largest now_ns seen by accumulate()
+  /// (or restored from a snapshot).
+  [[nodiscard]] std::uint64_t latest_ns() const noexcept { return latest_ns_; }
 
   [[nodiscard]] std::size_t occupancy() const noexcept { return occupied_; }
   [[nodiscard]] double load_factor() const noexcept {
@@ -178,6 +224,12 @@ class WsafTable {
 
   /// Accumulate events per eviction-pressure window.
   static constexpr std::uint64_t kPressureWindow = 1024;
+
+  /// Slots the incremental sweep visits per accumulate() when
+  /// idle_timeout_ns is set: the whole table is revisited every
+  /// entries()/2 accumulates, bounding how long an expired entry can
+  /// inflate occupancy, at a cost of two predictable loads per event.
+  static constexpr std::size_t kSweepSlotsPerAccumulate = 2;
 
   /// The paper's 33-byte logical entry size (memory accounting).
   [[nodiscard]] static constexpr std::size_t logical_entry_bytes() noexcept {
@@ -220,6 +272,8 @@ class WsafTable {
   std::uint64_t mask_;
   std::vector<WsafEntry> slots_;
   std::size_t occupied_ = 0;
+  std::uint64_t latest_ns_ = 0;   ///< trace-time high-water mark
+  std::size_t sweep_cursor_ = 0;  ///< next slot the incremental sweep visits
   WsafStats stats_;
   // Eviction-pressure window: evict/reject fraction of the last
   // kPressureWindow accumulates, cached for pressure().
@@ -233,6 +287,7 @@ class WsafTable {
   telemetry::Counter tel_updates_;
   telemetry::Counter tel_evictions_;
   telemetry::Counter tel_gc_reclaims_;
+  telemetry::Counter tel_gc_swept_;
   telemetry::Counter tel_rejected_;
   telemetry::Gauge tel_occupancy_;
   telemetry::Gauge tel_pressure_level_;

@@ -71,6 +71,14 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     engine_config.labels = worker_labels;
     engine_config.trace = config.trace;
     engine_config.trace_track = w;
+    if (config.enable_query_plane) {
+      engine_config.publish_views = true;
+      engine_config.publish = config.query_plane;
+      engine_config.publish.shard = w;
+      // Registry/trace wiring propagates from the engine config above.
+      engine_config.publish.registry = nullptr;
+      engine_config.publish.trace = nullptr;
+    }
     engines_.push_back(std::make_unique<core::InstaMeasure>(engine_config));
 
     tel_worker_packets_.push_back(registry_->counter(
@@ -115,6 +123,26 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
       "im_runtime_wsaf_pressure_level",
       "Worst per-worker WSAF pressure level (0 nominal, 1 elevated, "
       "2 saturated)");
+
+  if (config.enable_query_plane) {
+    std::vector<const core::SnapshotChannel*> channels;
+    channels.reserve(n);
+    for (const auto& engine : engines_) {
+      channels.push_back(engine->view_channel());
+    }
+    core::QueryEngineConfig qc;
+    qc.registry = registry_;
+    if constexpr (telemetry::kEnabled) {
+      // Queries run on arbitrary reader threads; they may only trace when
+      // the recorder has a spare track beyond the workers' and manager's
+      // (the QueryEngine serializes its own emits internally).
+      if (config.trace != nullptr && config.trace->tracks() > n + 1) {
+        qc.trace = config.trace;
+        qc.trace_track = n + 1;
+      }
+    }
+    query_engine_ = std::make_unique<core::QueryEngine>(std::move(channels), qc);
+  }
 }
 
 MultiCoreEngine::~MultiCoreEngine() = default;
@@ -149,6 +177,15 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     shed0[w] = tel_shed_[w].value();
   }
   const std::uint64_t stalls0 = tel_producer_stalls_.value();
+  // Query-plane baselines come from the channels (publish versions), not
+  // telemetry, so the deltas survive the compiled-out flavor too.
+  std::vector<std::uint64_t> pub0(n, 0), pub_skip0(n, 0);
+  for (unsigned w = 0; w < n; ++w) {
+    if (const auto* p = engines_[w]->view_publisher()) {
+      pub0[w] = p->publishes();
+      pub_skip0[w] = p->skipped_publishes();
+    }
+  }
   // Compiled-out fallback tallies (telemetry::kEnabled == false reads every
   // counter as 0, so the deltas above would vanish).
   std::vector<std::uint64_t> local_packets(n, 0), local_busy(n, 0),
@@ -255,6 +292,10 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
               local_busy[w] += tail;
             }
           }
+          // Final publish from the worker (writer) thread, after the last
+          // packet: queries issued after run() returns see the complete
+          // shard without touching the table.
+          engine.publish_view_now();
           pressure[w].store(static_cast<int>(engine.pressure().level),
                             std::memory_order_relaxed);
           break;
@@ -471,6 +512,12 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
   }
   stats.wsaf_pressure_peak = peak;
   tel_wsaf_pressure_.set(static_cast<double>(peak));
+  for (unsigned w = 0; w < n; ++w) {
+    if (const auto* p = engines_[w]->view_publisher()) {
+      stats.views_published += p->publishes() - pub0[w];
+      stats.view_publishes_skipped += p->skipped_publishes() - pub_skip0[w];
+    }
+  }
 
   // Derive the per-run stats from the registry (counter deltas over the
   // run); the compiled-out build substitutes the local tallies.

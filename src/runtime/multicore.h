@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/instameasure.h"
+#include "core/query_engine.h"
 #include "runtime/spsc_queue.h"
 #include "telemetry/metrics.h"
 #include "trace/trace.h"
@@ -94,6 +95,14 @@ struct MultiCoreConfig {
   /// (see tests/test_batch_equivalence.cpp); the scalar path remains as the
   /// A/B baseline for the Fig 9a throughput reproduction.
   bool batched = true;
+  /// Live query plane: every worker publishes WsafViews of its shard at
+  /// the `query_plane` cadence (shard/registry/trace wiring is filled in
+  /// per worker) and queries() answers over them while run() is in flight.
+  /// The default auto cadence keeps the cost under 2% of throughput
+  /// (scripts/check_query_overhead.sh guards this); set false to remove
+  /// the publish tick entirely.
+  bool enable_query_plane = true;
+  core::ViewPublishConfig query_plane{};
   core::EngineConfig engine{};  ///< per-worker; memory is per worker (×N total)
   /// Registry every worker engine and the runtime export into (each series
   /// labeled worker="N"). When null the engine owns a private registry,
@@ -121,6 +130,8 @@ struct RunStats {
   std::uint64_t producer_stalls = 0;     ///< full-queue backoffs
   unsigned shed_level_peak = 0;          ///< deepest ladder rung reached
   std::uint64_t watchdog_stall_reports = 0;
+  std::uint64_t views_published = 0;     ///< query-plane snapshots committed
+  std::uint64_t view_publishes_skipped = 0;  ///< all spare buffers pinned
   int wsaf_pressure_peak = 0;            ///< worst shard WsafPressureLevel seen
   std::vector<std::uint64_t> per_worker_packets;   ///< processed per worker
   std::vector<std::uint64_t> per_worker_dropped;   ///< dropped + shed per worker
@@ -168,6 +179,15 @@ class MultiCoreEngine {
   [[nodiscard]] std::vector<core::TopKItem> top_k_packets(std::size_t k) const;
   [[nodiscard]] std::vector<core::TopKItem> top_k_bytes(std::size_t k) const;
 
+  /// The live query plane: answers top-K / per-flow / heavy-hitter queries
+  /// over the workers' published views from ANY thread, including while
+  /// run() is processing packets (top_k_packets()/query() above touch the
+  /// tables directly and are only safe on a stopped engine). Null when
+  /// enable_query_plane is false.
+  [[nodiscard]] const core::QueryEngine* queries() const noexcept {
+    return query_engine_.get();
+  }
+
   [[nodiscard]] const core::InstaMeasure& engine(unsigned worker) const {
     return *engines_[worker];
   }
@@ -193,6 +213,7 @@ class MultiCoreEngine {
 
   MultiCoreConfig config_;
   std::vector<std::unique_ptr<core::InstaMeasure>> engines_;
+  std::unique_ptr<core::QueryEngine> query_engine_;
   std::unique_ptr<telemetry::Registry> owned_registry_;
   telemetry::Registry* registry_ = nullptr;
   // Runtime-level series, one handle per worker (single-writer cells).

@@ -53,6 +53,8 @@ enum class TraceEventKind : std::uint8_t {
   kQueueStall,        ///< runtime: manager blocked on a full queue (aux=worker)
   kEpochSeal,         ///< delegation: epoch sketch flushed (payload=bytes)
   kCollectorDecode,   ///< delegation: sketch merged+decoded (payload=wall ns)
+  kViewPublish,       ///< query: shard view published (payload=entry count)
+  kQueryMerge,        ///< query: cross-shard merge served (payload=entries)
   kKindCount
 };
 
@@ -83,6 +85,8 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kQueueStall: return "queue_stall";
     case TraceEventKind::kEpochSeal: return "epoch_seal";
     case TraceEventKind::kCollectorDecode: return "collector_decode";
+    case TraceEventKind::kViewPublish: return "view_publish";
+    case TraceEventKind::kQueryMerge: return "query_merge";
     case TraceEventKind::kKindCount: break;
   }
   return "?";
@@ -106,6 +110,8 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kQueueStall: return "runtime";
     case TraceEventKind::kEpochSeal:
     case TraceEventKind::kCollectorDecode: return "delegation";
+    case TraceEventKind::kViewPublish:
+    case TraceEventKind::kQueryMerge: return "query";
     case TraceEventKind::kKindCount: break;
   }
   return "?";

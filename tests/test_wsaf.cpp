@@ -111,9 +111,158 @@ TEST(WsafTable, GarbageCollectionReclaimsIdleEntries) {
   // rather than evicting via second chance.
   const auto newcomer = key_n(50);
   table.accumulate(newcomer, newcomer.hash(), 1.0, 0.0, /*now=*/10'000);
-  EXPECT_GE(table.stats().gc_reclaims, 1u);
+  // The dead entry is recycled either by the inline probe-path reclaim or
+  // by the incremental sweep that runs ahead of it — never by eviction.
+  EXPECT_GE(table.stats().gc_reclaims + table.stats().gc_swept, 1u);
   EXPECT_EQ(table.stats().evictions, 0u);
   EXPECT_TRUE(table.lookup(newcomer, newcomer.hash()).has_value());
+}
+
+TEST(WsafTable, LookupFiltersExpiredEntries) {
+  WsafConfig config = tiny_config(8, 4);
+  config.idle_timeout_ns = 1'000;
+  WsafTable table{config};
+  const auto key = key_n(3);
+  const auto hash = key.hash(config.seed);
+  table.accumulate(key, hash, 5.0, 100.0, /*now=*/100);
+  // Fresh as of 500, expired as of 5000: the entry is one accumulate()
+  // would reclaim, so lookup must not serve it.
+  EXPECT_TRUE(table.lookup(key, hash, 500).has_value());
+  EXPECT_FALSE(table.lookup(key, hash, 5'000).has_value());
+  // The clockless overload follows the trace-time high-water mark: another
+  // flow advancing time past the timeout makes the idle flow invisible.
+  EXPECT_TRUE(table.lookup(key, hash).has_value());
+  const auto other = key_n(4);
+  table.accumulate(other, other.hash(config.seed), 1.0, 0.0, /*now=*/9'000);
+  EXPECT_EQ(table.latest_ns(), 9'000u);
+  EXPECT_FALSE(table.lookup(key, hash).has_value());
+}
+
+TEST(WsafTable, LiveEntriesFiltersExpiredEntries) {
+  WsafConfig config = tiny_config(8, 8);
+  config.idle_timeout_ns = 1'000;
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < 10; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(config.seed), 1.0, 0.0, /*now=*/n);
+  }
+  // One flow stays active far past the others' expiry.
+  const auto active = key_n(99);
+  table.accumulate(active, active.hash(config.seed), 1.0, 0.0, /*now=*/50'000);
+  EXPECT_EQ(table.live_entries().size(), 1u);
+  EXPECT_EQ(table.live_entries(50'000).size(), 1u);
+  // As of a time before the gap every flow was live — minus at most the
+  // kSweepSlotsPerAccumulate slots the last accumulate's incremental sweep
+  // may already have cleared.
+  EXPECT_GE(table.live_entries(500).size(),
+            11u - WsafTable::kSweepSlotsPerAccumulate);
+}
+
+TEST(WsafTable, NoReclaimCountedWhenKeyMatchFollowsNotedExpiredSlot) {
+  // Regression: the probe loop used to count (and trace) a GC reclaim the
+  // moment an expired slot was *noted* as first_free, even when a later
+  // probe found the flow's live entry and the slot was never overwritten.
+  WsafConfig config = tiny_config(4, 4);  // 16 slots
+  config.idle_timeout_ns = 1'000;
+  WsafTable table{config};
+  const std::uint64_t mask = table.config().entries() - 1;
+
+  // Two distinct keys whose probe sequences START at the same slot, chosen
+  // in the table's upper half so the first few incremental sweeps (cursor
+  // starts at slot 0, 2 slots per accumulate) cannot clear it mid-test.
+  netio::FlowKey ka{}, kb{}, kc{};
+  bool found = false;
+  for (std::uint32_t a = 1; a < 200 && !found; ++a) {
+    for (std::uint32_t b = a + 1; b < 200 && !found; ++b) {
+      const auto key_a = key_n(a), key_b = key_n(b);
+      const auto ha = key_a.hash(config.seed), hb = key_b.hash(config.seed);
+      if ((ha & mask) == (hb & mask) && (ha & mask) >= 8 &&
+          static_cast<std::uint32_t>(ha >> 32) !=
+              static_cast<std::uint32_t>(hb >> 32)) {
+        ka = key_a;
+        kb = key_b;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "no colliding key pair in the search range";
+
+  table.accumulate(ka, ka.hash(config.seed), 1.0, 0.0, /*now=*/0);
+  table.accumulate(kb, kb.hash(config.seed), 1.0, 0.0, /*now=*/1);
+  ASSERT_EQ(table.occupancy(), 2u);
+
+  // At t=1001 A (last update 0) is just past the timeout while B (last
+  // update 1) is still fresh. B's update probes A's slot (expired ->
+  // noted), then finds its own live entry. Nothing is overwritten: no
+  // reclaim may be counted.
+  table.accumulate(kb, kb.hash(config.seed), 1.0, 0.0, /*now=*/1'001);
+  EXPECT_EQ(table.stats().gc_reclaims, 0u);
+  EXPECT_EQ(table.stats().updates, 1u);
+
+  // A third colliding flow DOES overwrite the expired slot: reclaim now.
+  for (std::uint32_t c = 1; c < 2'000; ++c) {
+    const auto key_c = key_n(c + 10'000);
+    const auto hc = key_c.hash(config.seed);
+    if ((hc & mask) == (ka.hash(config.seed) & mask)) {
+      kc = key_c;
+      break;
+    }
+  }
+  ASSERT_NE(kc, netio::FlowKey{});
+  const auto swept_before = table.stats().gc_swept;
+  table.accumulate(kc, kc.hash(config.seed), 1.0, 0.0, /*now=*/1'002);
+  // Either the insert overwrote the expired slot (reclaim) or the sweep
+  // got there first this accumulate; in both cases exactly one dead entry
+  // was released and the newcomer is live.
+  EXPECT_EQ(table.stats().gc_reclaims +
+                (table.stats().gc_swept - swept_before),
+            1u);
+  EXPECT_TRUE(table.lookup(kc, kc.hash(config.seed)).has_value());
+}
+
+TEST(WsafTable, OccupancyConvergesAfterFlowsGoIdle) {
+  // Regression: occupied_ used to count expired entries forever unless
+  // their exact slot happened to be reused, so occupancy (and the pressure
+  // signal built on it) overstated load on any table with idle flows.
+  WsafConfig config = tiny_config(6, 8);  // 64 slots
+  config.idle_timeout_ns = 1'000;
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < 40; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(config.seed), 1.0, 0.0, /*now=*/n);
+  }
+  const auto occupied_before = table.occupancy();
+  EXPECT_GE(occupied_before, 30u);
+
+  // Everything idles past the timeout while one unrelated flow keeps the
+  // table ticking. The incremental sweep (2 slots/accumulate) must walk
+  // the whole table within entries()/2 accumulates and release the dead
+  // entries — no traffic ever probes their chains.
+  const auto active = key_n(999);
+  const auto active_hash = active.hash(config.seed);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    table.accumulate(active, active_hash, 1.0, 0.0, /*now=*/100'000 + i);
+  }
+  EXPECT_EQ(table.occupancy(), 1u);
+  EXPECT_GE(table.stats().gc_swept, occupied_before - 1);
+  EXPECT_LT(table.pressure().occupancy_ratio, 0.05);
+  EXPECT_EQ(table.live_entries().size(), table.occupancy());
+}
+
+TEST(WsafTable, SweepExpiredFullScanReleasesEverything) {
+  WsafConfig config = tiny_config(8, 8);
+  config.idle_timeout_ns = 1'000;
+  WsafTable table{config};
+  for (std::uint32_t n = 0; n < 20; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(config.seed), 1.0, 0.0, /*now=*/n);
+  }
+  const auto occupied = table.occupancy();
+  EXPECT_EQ(table.sweep_expired(/*now=*/1'000'000), occupied);
+  EXPECT_EQ(table.occupancy(), 0u);
+  EXPECT_EQ(table.stats().gc_swept, occupied);
+  // Idempotent: nothing left to release.
+  EXPECT_EQ(table.sweep_expired(1'000'000), 0u);
 }
 
 TEST(WsafTable, ExpiredEntryIsNotUpdated) {

@@ -103,5 +103,90 @@ TEST_F(WsafSnapshotTest, TruncatedBodyThrows) {
   EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
 }
 
+// --- Corrupt-content tests -------------------------------------------------
+// These patch bytes of a snapshot written by save() at known offsets of the
+// on-disk layout: 40-byte header (magic @0, log2_entries u32 @8, probe_limit
+// u32 @12, idle_timeout u64 @16, seed u64 @24, occupied u64 @32), then one
+// 64-byte record per occupied slot, each starting with the u64 slot index.
+
+constexpr std::streamoff kHeaderBytes = 40;
+constexpr std::streamoff kProbeLimitOffset = 12;
+constexpr std::streamoff kOccupiedOffset = 32;
+constexpr std::streamoff kRecordBytes = 64;
+
+template <typename T>
+void patch_file(const std::string& path, std::streamoff offset, T value) {
+  std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(reinterpret_cast<const char*>(&value), sizeof value);
+  ASSERT_TRUE(f.good());
+}
+
+template <typename T>
+T read_at(const std::string& path, std::streamoff offset) {
+  std::ifstream f{path, std::ios::binary};
+  f.seekg(offset);
+  T value{};
+  f.read(reinterpret_cast<char*>(&value), sizeof value);
+  return value;
+}
+
+TEST_F(WsafSnapshotTest, LayoutMatchesPatchOffsets) {
+  // Guard for the tests below: if the snapshot format ever changes shape,
+  // fail here with a clear message instead of in a byte-patching test.
+  const auto table = populated_table();
+  table.save(path_);
+  ASSERT_EQ(std::filesystem::file_size(path_),
+            static_cast<std::uintmax_t>(
+                kHeaderBytes + kRecordBytes *
+                                   static_cast<std::streamoff>(
+                                       table.occupancy())));
+  EXPECT_EQ(read_at<std::uint64_t>(path_, kOccupiedOffset), table.occupancy());
+  EXPECT_EQ(read_at<std::uint32_t>(path_, kProbeLimitOffset),
+            table.config().probe_limit);
+}
+
+TEST_F(WsafSnapshotTest, ZeroProbeLimitHeaderThrows) {
+  // A restored table with probe_limit == 0 would probe zero slots: every
+  // lookup misses and every accumulate silently drops. Reject at load.
+  populated_table().save(path_);
+  patch_file<std::uint32_t>(path_, kProbeLimitOffset, 0);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, OccupiedBeyondCapacityThrows) {
+  // header.occupied > 2^log2_entries cannot describe any real table; a
+  // loader trusting it would read past the record stream.
+  populated_table().save(path_);
+  patch_file<std::uint64_t>(path_, kOccupiedOffset,
+                            (std::uint64_t{1} << 10) + 1);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, DuplicateSlotThrows) {
+  // Two records claiming the same slot: the second overwrite would silently
+  // drop the first flow's counters, so load() must refuse.
+  const auto table = populated_table();
+  ASSERT_GE(table.occupancy(), 2u);
+  table.save(path_);
+  const auto first_slot = read_at<std::uint64_t>(path_, kHeaderBytes);
+  patch_file<std::uint64_t>(path_, kHeaderBytes + kRecordBytes, first_slot);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, OccupancyCountsRestoredRecordsNotHeaderClaim) {
+  // If the header under-reports (claims fewer records than the file holds),
+  // load() restores exactly that many and occupancy() reflects the records
+  // actually placed — never the raw header value.
+  const auto table = populated_table();
+  table.save(path_);
+  const auto claimed = table.occupancy() - 5;
+  patch_file<std::uint64_t>(path_, kOccupiedOffset,
+                            static_cast<std::uint64_t>(claimed));
+  const auto restored = WsafTable::load(path_);
+  EXPECT_EQ(restored.occupancy(), claimed);
+}
+
 }  // namespace
 }  // namespace instameasure::core
