@@ -10,42 +10,23 @@
 #   BUILD=build-bench BATCH=32 TOLERANCE=0.95 MIN_TIME=1.0 to override.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+source scripts/lib_bench.sh
 
 BUILD=${BUILD:-build-bench}
 BATCH=${BATCH:-32}
 TOLERANCE=${TOLERANCE:-0.95}
 MIN_TIME=${MIN_TIME:-1.0}
 
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j --target bench_micro >/dev/null
+bench_build "$BUILD" bench_micro
 
 JSON=$(mktemp)
 trap 'rm -f "$JSON"' EXIT
-"$BUILD"/bench/bench_micro \
-  --benchmark_filter="^BM_EngineProcess(\$|Batch/${BATCH}\$)" \
-  --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json >"$JSON"
+bench_micro_json "$BUILD" "^BM_EngineProcess(\$|Batch/${BATCH}\$)" \
+  "$MIN_TIME" "$JSON"
 
-python3 - "$JSON" "$BATCH" "$TOLERANCE" <<'EOF'
-import json
-import sys
-
-path, batch, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
-with open(path) as f:
-    report = json.load(f)
-mpps = {
-    b["name"]: b["Mpps"]
-    for b in report["benchmarks"]
-    if b.get("run_type", "iteration") == "iteration" and "Mpps" in b
-}
-scalar = mpps["BM_EngineProcess"]
-batched = mpps[f"BM_EngineProcessBatch/{batch}"]
-ratio = batched / scalar
-print(f"scalar       {scalar:8.3f} Mpps")
-print(f"batch/{batch:<4} {batched:8.3f} Mpps")
-print(f"ratio        {ratio:8.3f}  (floor {tolerance})")
-if ratio < tolerance:
-    print("FAIL: batched path regressed below the scalar baseline")
-    sys.exit(1)
-print("OK: batched path holds the floor")
-EOF
+read -r SCALAR BATCHED <<<"$(
+  bench_mpps "$JSON" BM_EngineProcess "BM_EngineProcessBatch/${BATCH}" \
+    | tr '\n' ' ')"
+bench_ratio_gate "scalar" "$SCALAR" "batch/${BATCH}" "$BATCHED" "$TOLERANCE" \
+  "batched path regressed below the scalar baseline" \
+  "batched path holds the floor"

@@ -11,41 +11,23 @@
 #   BUILD=build-bench TOLERANCE=0.98 MIN_TIME=2.0 to override.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+source scripts/lib_bench.sh
 
 BUILD=${BUILD:-build-bench}
 TOLERANCE=${TOLERANCE:-0.98}
 MIN_TIME=${MIN_TIME:-2.0}
 
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j --target bench_micro >/dev/null
+bench_build "$BUILD" bench_micro
 
 JSON=$(mktemp)
 trap 'rm -f "$JSON"' EXIT
-"$BUILD"/bench/bench_micro \
-  --benchmark_filter="^BM_EngineProcessBatch(/32|Published)\$" \
-  --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json >"$JSON"
+bench_micro_json "$BUILD" '^BM_EngineProcessBatch(/32|Published)$' \
+  "$MIN_TIME" "$JSON"
 
-python3 - "$JSON" "$TOLERANCE" <<'EOF'
-import json
-import sys
-
-path, tolerance = sys.argv[1], float(sys.argv[2])
-with open(path) as f:
-    report = json.load(f)
-mpps = {
-    b["name"]: b["Mpps"]
-    for b in report["benchmarks"]
-    if b.get("run_type", "iteration") == "iteration" and "Mpps" in b
-}
-plain = mpps["BM_EngineProcessBatch/32"]
-published = mpps["BM_EngineProcessBatchPublished"]
-ratio = published / plain
-print(f"batch/32 (no publish) {plain:8.3f} Mpps")
-print(f"batch/32 + publish    {published:8.3f} Mpps")
-print(f"ratio                 {ratio:8.3f}  (floor {tolerance})")
-if ratio < tolerance:
-    print("FAIL: query-plane publishing exceeds its throughput budget")
-    sys.exit(1)
-print("OK: publish overhead within budget")
-EOF
+read -r PLAIN PUBLISHED <<<"$(
+  bench_mpps "$JSON" "BM_EngineProcessBatch/32" \
+    BM_EngineProcessBatchPublished | tr '\n' ' ')"
+bench_ratio_gate "batch/32 (no publish)" "$PLAIN" \
+  "batch/32 + publish" "$PUBLISHED" "$TOLERANCE" \
+  "query-plane publishing exceeds its throughput budget" \
+  "publish overhead within budget"

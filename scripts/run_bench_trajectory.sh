@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness driver: Release-builds tools/bench_trajectory,
+# runs the fixed workload matrix (scalar vs batch={8,32,64} over the
+# 512 MB / 2^23-flow DRAM-resident workload), and writes one
+# schema-versioned BENCH_<stamp>.json with throughput, hardware counters
+# (or the literal "unavailable" where perf_event_open is denied), git sha,
+# and host info. Exits 0 on any machine — counter availability is recorded
+# in the document, never a failure.
+#
+# Usage: scripts/run_bench_trajectory.sh
+#   OUT=BENCH_mybox.json   output path (default BENCH_<utc-stamp>.json)
+#   SMOKE=1                seconds-long config for CI schema validation
+#   BUILD=build-bench GIT_SHA=<sha> PACKETS=<n> to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source scripts/lib_bench.sh
+
+BUILD=${BUILD:-build-bench}
+OUT=${OUT:-BENCH_$(date -u +%Y%m%d_%H%M%S).json}
+SMOKE=${SMOKE:-0}
+GIT_SHA=${GIT_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}
+
+bench_build "$BUILD" bench_trajectory
+
+args=(--out "$OUT" --git-sha "$GIT_SHA")
+if [ "$SMOKE" = 1 ]; then
+  args+=(--smoke)
+fi
+if [ -n "${PACKETS:-}" ]; then
+  args+=(--packets "$PACKETS")
+fi
+"$BUILD"/tools/bench_trajectory "${args[@]}"
+
+bench_validate_trajectory "$OUT"

@@ -88,6 +88,7 @@ StageReport attribute_stages(std::span<const TraceEvent> events) {
 
   std::vector<double> pkt_to_l1, l1_to_l2, l2_to_wsaf, wsaf_to_detect,
       pkt_to_detect, detect_trace_ns, decode_ns;
+  std::array<PerfStageCounters, telemetry::kPerfStageCount> perf{};
 
   const auto delta = [](std::uint64_t from, std::uint64_t to,
                         std::vector<double>& into) {
@@ -133,6 +134,22 @@ StageReport attribute_stages(std::span<const TraceEvent> events) {
       case TraceEventKind::kCollectorDecode:
         decode_ns.push_back(e.payload);
         break;
+      case TraceEventKind::kPerfCounters: {
+        // aux = stage | (field << 8); field 0 carries the chunk's item
+        // count, field c+1 carries counter c's delta (perf_counters.h).
+        const auto stage = e.aux & 0xff;
+        const auto field = e.aux >> 8;
+        if (stage >= telemetry::kPerfStageCount) break;
+        auto& p = perf[stage];
+        if (field == telemetry::kPerfTraceItemsField) {
+          p.items += e.payload;
+          ++p.samples;
+        } else if (field - 1 < telemetry::kPerfCounterCount) {
+          p.counters[field - 1] += e.payload;
+          p.available[field - 1] = true;
+        }
+        break;
+      }
       default:
         break;
     }
@@ -146,6 +163,11 @@ StageReport attribute_stages(std::span<const TraceEvent> events) {
   report.detection_latency =
       quantiles_of("first_seen->alarm", detect_trace_ns);
   report.collector_decode = quantiles_of("collector decode", decode_ns);
+  for (unsigned s = 0; s < telemetry::kPerfStageCount; ++s) {
+    if (perf[s].samples == 0) continue;
+    perf[s].stage = to_string(static_cast<telemetry::PerfStage>(s));
+    report.perf.push_back(std::move(perf[s]));
+  }
   return report;
 }
 
@@ -171,6 +193,40 @@ std::string format_stage_report(const StageReport& report) {
                 static_cast<unsigned long long>(report.epoch_seals));
   out += buf;
   append_row(out, report.collector_decode);
+
+  if (!report.perf.empty()) {
+    out +=
+        "hardware counters per pipeline stage (sampled chunks; item = "
+        "packet, or WSAF event for wsaf_drain):\n"
+        "  stage                    items  llc-miss/item    ipc   "
+        "dtlb-miss/item  br-miss/item\n";
+    using telemetry::PerfCounterId;
+    const auto cell = [&](const PerfStageCounters& p, PerfCounterId id,
+                          const char* fmt, const char* na) {
+      if (p.has(id)) {
+        std::snprintf(buf, sizeof buf, fmt, p.per_item(id));
+        out += buf;
+      } else {
+        out += na;
+      }
+    };
+    for (const auto& p : report.perf) {
+      std::snprintf(buf, sizeof buf, "  %-22s %9.0f", p.stage.c_str(),
+                    p.items);
+      out += buf;
+      cell(p, PerfCounterId::kLlcLoadMisses, " %12.3f", "          n/a");
+      if (p.has(PerfCounterId::kCycles) &&
+          p.has(PerfCounterId::kInstructions)) {
+        std::snprintf(buf, sizeof buf, " %6.2f", p.ipc());
+        out += buf;
+      } else {
+        out += "    n/a";
+      }
+      cell(p, PerfCounterId::kDtlbLoadMisses, " %14.4f", "            n/a");
+      cell(p, PerfCounterId::kBranchMisses, " %13.3f", "           n/a");
+      out += '\n';
+    }
+  }
   return out;
 }
 

@@ -14,11 +14,13 @@
 // from real traces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "telemetry/perf_counters.h"
 #include "telemetry/trace.h"
 
 namespace instameasure::analysis {
@@ -33,6 +35,33 @@ struct StageQuantiles {
   double max_ns = 0;
 };
 
+/// Hardware-counter totals of one pipeline stage, aggregated from sampled
+/// kPerfCounters events. Items are packets for the hash/regulator stages
+/// and drained WSAF events (probes) for wsaf_drain, so per_item() of
+/// llc_load_misses reads as misses-per-packet / misses-per-probe.
+struct PerfStageCounters {
+  std::string stage;
+  std::uint64_t samples = 0;  ///< sampled chunks contributing
+  double items = 0;           ///< work units covered by those chunks
+  std::array<double, telemetry::kPerfCounterCount> counters{};
+  std::array<bool, telemetry::kPerfCounterCount> available{};
+
+  [[nodiscard]] bool has(telemetry::PerfCounterId id) const noexcept {
+    return available[static_cast<unsigned>(id)];
+  }
+  [[nodiscard]] double total(telemetry::PerfCounterId id) const noexcept {
+    return counters[static_cast<unsigned>(id)];
+  }
+  [[nodiscard]] double per_item(telemetry::PerfCounterId id) const noexcept {
+    return items > 0 ? total(id) / items : 0.0;
+  }
+  [[nodiscard]] double ipc() const noexcept {
+    const auto cycles = total(telemetry::PerfCounterId::kCycles);
+    return cycles > 0 ? total(telemetry::PerfCounterId::kInstructions) / cycles
+                      : 0.0;
+  }
+};
+
 struct StageReport {
   /// Wall-clock per-stage pipeline decomposition, in pipeline order:
   /// packet->l1_sat (retention flush), l1_sat->l2_sat (regulator),
@@ -45,6 +74,10 @@ struct StageReport {
   /// Wall-clock collector decode cost per delivered sketch
   /// (kCollectorDecode.payload) — the delegation side of the comparison.
   StageQuantiles collector_decode;
+
+  /// Per-stage hardware counters, in pipeline-stage order; empty when the
+  /// trace carries no kPerfCounters events (perf unavailable or unarmed).
+  std::vector<PerfStageCounters> perf;
 
   std::uint64_t events = 0;       ///< events analyzed
   std::uint64_t detections = 0;   ///< kDetection events seen

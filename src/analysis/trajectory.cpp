@@ -1,0 +1,423 @@
+#include "analysis/trajectory.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "util/format.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace instameasure::analysis {
+
+namespace {
+
+using telemetry::kPerfCounterCount;
+using telemetry::PerfCounterId;
+using telemetry::PerfReading;
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  out += util::json_escape(s);
+  out += '"';
+}
+
+/// %.17g round-trips doubles; non-finite values have no JSON spelling, so
+/// they degrade to null rather than emitting a token json.load rejects.
+void append_num(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// {"cycles": 123.0, "llc_loads": "unavailable", ...} — the per-counter
+/// degradation contract: a hole is an explicit string, never a zero.
+void append_counters(std::string& out, const PerfReading& r) {
+  out += '{';
+  for (unsigned i = 0; i < kPerfCounterCount; ++i) {
+    if (i != 0) out += ',';
+    append_quoted(out, to_string(static_cast<PerfCounterId>(i)));
+    out += ':';
+    if (r.values[i].available) {
+      append_num(out, r.values[i].value);
+    } else {
+      out += "\"unavailable\"";
+    }
+  }
+  out += '}';
+}
+
+/// Derived rates over `items` work units. Each rate appears only when its
+/// inputs are available; otherwise the key maps to "unavailable".
+void append_derived(std::string& out, const PerfReading& r, double items) {
+  const auto rate = [&](const char* key, PerfCounterId id) {
+    append_quoted(out, key);
+    out += ':';
+    if (r[id].available && items > 0) {
+      append_num(out, r[id].value / items);
+    } else {
+      out += "\"unavailable\"";
+    }
+  };
+  out += '{';
+  append_quoted(out, "ipc");
+  out += ':';
+  if (r[PerfCounterId::kCycles].available &&
+      r[PerfCounterId::kInstructions].available &&
+      r[PerfCounterId::kCycles].value > 0) {
+    append_num(out, r[PerfCounterId::kInstructions].value /
+                        r[PerfCounterId::kCycles].value);
+  } else {
+    out += "\"unavailable\"";
+  }
+  out += ',';
+  rate("llc_miss_per_item", PerfCounterId::kLlcLoadMisses);
+  out += ',';
+  rate("dtlb_miss_per_item", PerfCounterId::kDtlbLoadMisses);
+  out += ',';
+  rate("branch_miss_per_item", PerfCounterId::kBranchMisses);
+  out += '}';
+}
+
+// ------------------------------------------------------------- validator
+//
+// Minimal recursive-descent well-formedness check (no DOM): enough to
+// guarantee json.load-compatibility of our own emitter and to locate the
+// top-level keys. Depth-limited so corrupt input can't blow the stack.
+
+struct Parser {
+  std::string_view in;
+  std::size_t pos = 0;
+  std::string err;
+  std::vector<std::string> root_keys;  ///< keys of the top-level object
+
+  [[nodiscard]] bool fail(const char* what) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s at offset %zu", what, pos);
+    err = buf;
+    return false;
+  }
+  void skip_ws() {
+    while (pos < in.size() && (in[pos] == ' ' || in[pos] == '\t' ||
+                               in[pos] == '\n' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool string(std::string* out) {
+    if (pos >= in.size() || in[pos] != '"') return fail("expected string");
+    ++pos;
+    while (pos < in.size()) {
+      const char c = in[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= in.size()) break;
+        const char e = in[pos];
+        if (e == 'u') {
+          if (pos + 4 >= in.size()) break;
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control char in string");
+      } else if (out != nullptr) {
+        *out += c;
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+  [[nodiscard]] bool number() {
+    const auto start = pos;
+    if (pos < in.size() && in[pos] == '-') ++pos;
+    while (pos < in.size() &&
+           (std::isdigit(static_cast<unsigned char>(in[pos])) ||
+            in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E' ||
+            in[pos] == '+' || in[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected number");
+    return true;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (in.substr(pos, word.size()) != word) return fail("bad literal");
+    pos += word.size();
+    return true;
+  }
+  [[nodiscard]] bool value(int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= in.size()) return fail("unexpected end");
+    switch (in[pos]) {
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (pos < in.size() && in[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!string(depth == 0 ? &key : nullptr)) return false;
+          if (depth == 0) root_keys.push_back(std::move(key));
+          skip_ws();
+          if (pos >= in.size() || in[pos] != ':') return fail("expected ':'");
+          ++pos;
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (pos < in.size() && in[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < in.size() && in[pos] == '}') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (pos < in.size() && in[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (pos < in.size() && in[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < in.size() && in[pos] == ']') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return string(nullptr);
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+};
+
+}  // namespace
+
+TrajectoryHost collect_host_info() {
+  TrajectoryHost host;
+  host.hostname = "unknown";
+  host.kernel = "unknown";
+  host.cpu = "unknown";
+  host.cpus = std::thread::hardware_concurrency();
+#if defined(__unix__) || defined(__APPLE__)
+  char name[256] = {};
+  if (::gethostname(name, sizeof name - 1) == 0 && name[0] != '\0') {
+    host.hostname = name;
+  }
+  struct utsname uts {};
+  if (::uname(&uts) == 0) {
+    host.kernel = std::string{uts.sysname} + " " + uts.release;
+  }
+#endif
+#if defined(__linux__)
+  std::ifstream cpuinfo{"/proc/cpuinfo"};
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        auto model = line.substr(colon + 1);
+        const auto first = model.find_first_not_of(' ');
+        if (first != std::string::npos) host.cpu = model.substr(first);
+      }
+      break;
+    }
+  }
+#endif
+  return host;
+}
+
+std::string utc_timestamp_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string build_trajectory_json(const TrajectoryMeta& meta,
+                                  std::span<const TrajectoryRun> runs) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema_version\": ";
+  append_u64(out, kTrajectorySchemaVersion);
+  out += ",\n  \"benchmark\": \"instameasure_perf_trajectory\"";
+  out += ",\n  \"created_utc\": ";
+  append_quoted(out, meta.created_utc);
+  out += ",\n  \"git_sha\": ";
+  append_quoted(out, meta.git_sha.empty() ? "unknown" : meta.git_sha);
+  out += ",\n  \"host\": {\"hostname\": ";
+  append_quoted(out, meta.host.hostname);
+  out += ", \"kernel\": ";
+  append_quoted(out, meta.host.kernel);
+  out += ", \"cpu\": ";
+  append_quoted(out, meta.host.cpu);
+  out += ", \"cpus\": ";
+  append_u64(out, meta.host.cpus);
+  out += "},\n  \"config\": {\"l1_memory_bytes\": ";
+  append_u64(out, meta.l1_memory_bytes);
+  out += ", \"wsaf_log2_entries\": ";
+  append_u64(out, meta.wsaf_log2_entries);
+  out += ", \"flows\": ";
+  append_u64(out, meta.flows);
+  out += ", \"packets_per_run\": ";
+  append_u64(out, meta.packets_per_run);
+  out += ", \"seed\": ";
+  append_u64(out, meta.seed);
+  out += ", \"perf_sample_shift\": ";
+  append_u64(out, meta.sample_shift);
+  out += "},\n  \"perf_compiled\": ";
+  out += telemetry::kPerfEnabled ? "true" : "false";
+  out += ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_quoted(out, run.name);
+    out += ", \"mode\": ";
+    append_quoted(out, run.mode);
+    out += ", \"batch\": ";
+    append_u64(out, run.batch);
+    out += ", \"packets\": ";
+    append_u64(out, run.packets);
+    out += ",\n     \"elapsed_s\": ";
+    append_num(out, run.elapsed_s);
+    out += ", \"mpps\": ";
+    append_num(out, run.mpps);
+    out += ",\n     \"perf\": {\"available\": ";
+    out += run.perf_available ? "true" : "false";
+    if (!run.perf_available) {
+      out += ", \"error\": ";
+      append_quoted(out, run.perf_error);
+    }
+    out += ",\n       \"counters\": ";
+    if (run.counters.any_available()) {
+      append_counters(out, run.counters);
+      out += ",\n       \"derived\": ";
+      append_derived(out, run.counters, static_cast<double>(run.packets));
+    } else {
+      out += "\"unavailable\"";
+    }
+    if (!run.stages.empty()) {
+      out += ",\n       \"sampled_packets\": ";
+      append_u64(out, run.sampled_packets);
+      out += ", \"sampled_chunks\": ";
+      append_u64(out, run.sampled_chunks);
+      out += ",\n       \"stages\": [";
+      for (std::size_t s = 0; s < run.stages.size(); ++s) {
+        const auto& st = run.stages[s];
+        out += s == 0 ? "\n" : ",\n";
+        out += "         {\"stage\": ";
+        append_quoted(out, st.stage);
+        out += ", \"samples\": ";
+        append_u64(out, st.totals.samples);
+        out += ", \"items\": ";
+        append_u64(out, st.totals.items);
+        out += ",\n          \"counters\": ";
+        append_counters(out, st.totals.counters);
+        out += ",\n          \"derived\": ";
+        append_derived(out, st.totals.counters,
+                       static_cast<double>(st.totals.items));
+        out += '}';
+      }
+      out += "\n       ]";
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool validate_trajectory_json(std::string_view json, std::string* error) {
+  const auto set_error = [&](const std::string& e) {
+    if (error != nullptr) *error = e;
+    return false;
+  };
+  Parser p;
+  p.in = json;
+  p.skip_ws();
+  if (p.pos >= json.size() || json[p.pos] != '{') {
+    return set_error("top-level value is not an object");
+  }
+  if (!p.value(0)) return set_error(p.err);
+  p.skip_ws();
+  if (p.pos != json.size()) return set_error("trailing data after document");
+
+  for (const char* key : {"schema_version", "benchmark", "created_utc",
+                          "git_sha", "host", "config", "runs"}) {
+    bool found = false;
+    for (const auto& k : p.root_keys) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return set_error(std::string{"missing required key: "} + key);
+    }
+  }
+
+  // Cheap version pin: our emitter writes the key/value with this exact
+  // spacing; hand-edited documents just need the pair present somewhere.
+  char want[48];
+  std::snprintf(want, sizeof want, "\"schema_version\": %d",
+                kTrajectorySchemaVersion);
+  if (json.find(want) == std::string_view::npos) {
+    char alt[48];
+    std::snprintf(alt, sizeof alt, "\"schema_version\":%d",
+                  kTrajectorySchemaVersion);
+    if (json.find(alt) == std::string_view::npos) {
+      return set_error("schema_version mismatch");
+    }
+  }
+  return true;
+}
+
+}  // namespace instameasure::analysis

@@ -1,0 +1,106 @@
+// BENCH_*.json perf-trajectory schema (builder + validator).
+//
+// The trajectory harness (tools/bench_trajectory) runs a fixed workload
+// matrix — scalar vs batch={8,32,64} over the DRAM-resident 512 MB / 2^23
+// flow workload from bench/bench_micro.cpp — and serializes one
+// schema-versioned JSON document per invocation: throughput, run-level
+// hardware counters, per-stage counters from the PerfStageProfiler, git
+// sha, and host info. Committing one BENCH_<run>.json per perf-relevant
+// change gives the repo a perf trajectory: `git log` over these files
+// answers "when did misses-per-packet regress" the way the test suite
+// answers "when did correctness regress".
+//
+// Graceful degradation contract (mirrors telemetry/perf_counters.h): on
+// hosts where perf_event_open fails, every counter field holds the literal
+// string "unavailable" and the document still validates — CI runners
+// without PMU access produce comparable throughput numbers with explicit
+// holes, never silent zeros.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/perf_counters.h"
+
+namespace instameasure::analysis {
+
+/// Bump on any breaking change to the document layout. Consumers must
+/// check this before comparing documents across commits.
+inline constexpr int kTrajectorySchemaVersion = 1;
+
+/// One pipeline stage's accumulated counters inside one run (batch runs
+/// only — the scalar path has no stage structure to attribute to).
+struct TrajectoryStage {
+  std::string stage;  ///< "hash_layout" | "regulator_update" | "wsaf_drain"
+  telemetry::PerfStageTotals totals;
+};
+
+/// One cell of the workload matrix.
+struct TrajectoryRun {
+  std::string name;        ///< "scalar", "batch8", "batch32", "batch64"
+  std::string mode;        ///< "scalar" | "batch"
+  std::size_t batch = 0;   ///< span length per process_batch call; 0 scalar
+  std::uint64_t packets = 0;  ///< packets in the timed region
+  double elapsed_s = 0;
+  double mpps = 0;
+
+  /// Run-level counters over the whole timed region (one PerfScope).
+  telemetry::PerfReading counters;
+  bool perf_available = false;  ///< group leader opened for this run
+  std::string perf_error;       ///< reason when !perf_available
+
+  /// Stage attribution from the engine's PerfStageProfiler (sampled
+  /// chunks). Empty for scalar runs and when perf is unavailable.
+  std::uint64_t sampled_packets = 0;
+  std::uint64_t sampled_chunks = 0;
+  std::vector<TrajectoryStage> stages;
+};
+
+struct TrajectoryHost {
+  std::string hostname;
+  std::string kernel;  ///< uname sysname + release
+  std::string cpu;     ///< /proc/cpuinfo model name (or "unknown")
+  unsigned cpus = 0;   ///< hardware_concurrency
+};
+
+/// Best-effort host identification; never fails (fields fall back to
+/// "unknown"). Serialized so trajectory points from different machines are
+/// never compared as if same-host.
+[[nodiscard]] TrajectoryHost collect_host_info();
+
+/// Document header: provenance + the workload configuration shared by
+/// every run in the matrix.
+struct TrajectoryMeta {
+  std::string created_utc;  ///< ISO-8601 UTC, from utc_timestamp_now()
+  std::string git_sha;      ///< "unknown" when the harness can't tell
+  TrajectoryHost host;
+  std::size_t l1_memory_bytes = 0;
+  unsigned wsaf_log2_entries = 0;
+  std::uint64_t flows = 0;            ///< distinct flows in the packet pool
+  std::uint64_t packets_per_run = 0;  ///< timed packets per matrix cell
+  std::uint64_t seed = 0;             ///< packet-pool RNG seed
+  unsigned sample_shift = 0;          ///< profiler chunk-sampling shift
+};
+
+/// Current time as "YYYY-MM-DDTHH:MM:SSZ".
+[[nodiscard]] std::string utc_timestamp_now();
+
+/// Serialize one trajectory document. Unavailable counters serialize as
+/// the string "unavailable"; derived rates are emitted only when their
+/// inputs are available. Output always passes validate_trajectory_json.
+[[nodiscard]] std::string build_trajectory_json(
+    const TrajectoryMeta& meta, std::span<const TrajectoryRun> runs);
+
+/// Structural validation: `json` must be one well-formed JSON value, a
+/// top-level object, with schema_version == kTrajectorySchemaVersion and
+/// the required top-level keys (benchmark, created_utc, git_sha, host,
+/// config, runs). On failure returns false and, when `error` is non-null,
+/// a one-line reason. This is the same check the emitted-file tests and
+/// scripts/run_bench_trajectory.sh apply.
+[[nodiscard]] bool validate_trajectory_json(std::string_view json,
+                                            std::string* error = nullptr);
+
+}  // namespace instameasure::analysis

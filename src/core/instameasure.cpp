@@ -60,7 +60,8 @@ InstaMeasure::InstaMeasure(const EngineConfig& config)
       regulator_(config_.regulator),
       wsaf_(config_.wsaf),
       trace_(config_.trace),
-      trace_track_(config_.trace_track) {
+      trace_track_(config_.trace_track),
+      perf_(config_.perf) {
   if (config.track_top_k > 0) tracker_.emplace(config.track_top_k);
   if (config_.publish_views) {
     auto pub = config_.publish;
@@ -186,6 +187,15 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
   SteadyClock::time_point t0;
   if (telemetry::kEnabled && sampled != 0) t0 = SteadyClock::now();
 
+  // Hardware-counter sampling: every 2^shift-th chunk brackets each stage
+  // with a perf group read (profiler-owned cadence). An attached-but-
+  // unavailable profiler costs one relaxed load here and nothing below.
+  bool perf_sampled = false;
+  if constexpr (telemetry::kPerfEnabled) {
+    perf_sampled = perf_ != nullptr && perf_->begin_chunk();
+    if (perf_sampled) perf_->stage_mark();
+  }
+
   // Stage 1: every flow-key hash and virtual-vector layout for the burst,
   // computed once and reused by the regulator, both sketch layers, and the
   // WSAF below. Each flow's sketch lines are prefetched before its
@@ -202,6 +212,11 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
     hashes[i] = recs[i].key.hash(config_.seed);
     if (prefetch) regulator_.prefetch(hashes[i]);
     layouts[i] = regulator_.layout_of(hashes[i]);
+  }
+  if constexpr (telemetry::kPerfEnabled) {
+    if (perf_sampled) {
+      perf_->stage_commit(telemetry::PerfStage::kHashLayout, n);
+    }
   }
 
   // Stage 2: regulator updates against warm lines. Saturation events are
@@ -228,6 +243,11 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
       ++n_pending;
     }
   }
+  if constexpr (telemetry::kPerfEnabled) {
+    if (perf_sampled) {
+      perf_->stage_commit(telemetry::PerfStage::kRegulatorUpdate, n);
+    }
+  }
 
   // Stage 3: drain the (few) events into the WSAF in packet order — the
   // same accumulate/tracker/detection sequence the scalar path runs, so
@@ -252,6 +272,14 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
         config_.heavy_hitter.byte_threshold > 0) {
       check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
                          totals.first_seen_ns, rec.timestamp_ns);
+    }
+  }
+  if constexpr (telemetry::kPerfEnabled) {
+    if (perf_sampled) {
+      // Items for the drain stage are the drained saturation events, so
+      // its per-item rates read as misses-per-WSAF-probe.
+      perf_->stage_commit(telemetry::PerfStage::kWsafDrain, n_pending);
+      perf_->end_chunk(n);
     }
   }
 

@@ -23,6 +23,7 @@
 #include "core/view_publisher.h"
 #include "core/wsaf_table.h"
 #include "netio/packet.h"
+#include "telemetry/perf_counters.h"
 
 namespace instameasure::core {
 
@@ -73,6 +74,13 @@ struct EngineConfig {
   /// branch per scalar packet / one per 64-packet chunk when batched.
   bool publish_views = false;
   ViewPublishConfig publish{};
+  /// When set, the batched pipeline samples hardware counters around each
+  /// of its three stages (hash/layout, regulator update, WSAF drain) into
+  /// this profiler — the im_perf_* gauges and kPerfCounters trace events.
+  /// The profiler must be constructed on the thread that calls
+  /// process()/process_batch() (perf groups count the opening thread);
+  /// when perf is unavailable the per-chunk cost is one relaxed load.
+  telemetry::PerfStageProfiler* perf = nullptr;
   /// Software prefetch in the batched path: the layout pass prefetches
   /// each packet's sketch lines a full chunk (up to 64 packets) ahead of
   /// the update pass, and saturation events' WSAF slots get the rest of
@@ -215,6 +223,7 @@ class InstaMeasure {
   telemetry::Histogram tel_detection_latency_ns_; ///< trace time to detect
   telemetry::TraceRecorder* trace_ = nullptr;
   unsigned trace_track_ = 0;
+  telemetry::PerfStageProfiler* perf_ = nullptr;
 };
 
 }  // namespace instameasure::core

@@ -7,6 +7,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/format.h"
+
 namespace instameasure::telemetry {
 
 namespace {
@@ -25,21 +27,11 @@ std::string format_number(double v) {
   return buf;
 }
 
-// Escape for both Prometheus label values and JSON strings (shared subset:
-// backslash, double quote, newline).
-std::string escaped(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '"': out += "\\\""; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+// Escape for both Prometheus label values and JSON strings. Full control-
+// character coverage (\n \t \r, \u00XX for the rest) lives in
+// util::json_escape — a tab or newline in a label must never emit invalid
+// JSON or a broken exposition line.
+std::string escaped(const std::string& s) { return util::json_escape(s); }
 
 std::string prometheus_labels(const Labels& labels) {
   if (labels.empty()) return {};

@@ -55,6 +55,8 @@ enum class TraceEventKind : std::uint8_t {
   kCollectorDecode,   ///< delegation: sketch merged+decoded (payload=wall ns)
   kViewPublish,       ///< query: shard view published (payload=entry count)
   kQueryMerge,        ///< query: cross-shard merge served (payload=entries)
+  kPerfCounters,      ///< perf: sampled HW counter delta (aux=stage|field<<8,
+                      ///< see perf_counters.h encoding; payload=value)
   kKindCount
 };
 
@@ -87,6 +89,7 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kCollectorDecode: return "collector_decode";
     case TraceEventKind::kViewPublish: return "view_publish";
     case TraceEventKind::kQueryMerge: return "query_merge";
+    case TraceEventKind::kPerfCounters: return "perf_counters";
     case TraceEventKind::kKindCount: break;
   }
   return "?";
@@ -112,6 +115,7 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kCollectorDecode: return "delegation";
     case TraceEventKind::kViewPublish:
     case TraceEventKind::kQueryMerge: return "query";
+    case TraceEventKind::kPerfCounters: return "perf";
     case TraceEventKind::kKindCount: break;
   }
   return "?";

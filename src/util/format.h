@@ -52,6 +52,37 @@ namespace instameasure::util {
   return buf;
 }
 
+/// Escape a string for embedding in a JSON string literal (also the valid
+/// subset for Prometheus label values): backslash, double quote, the named
+/// control escapes \n \t \r \b \f, and every other char < 0x20 as \u00XX.
+/// Anything less produces invalid JSON / broken exposition the moment a
+/// label carries a control character.
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 /// "12,345,678" with thousands separators.
 [[nodiscard]] inline std::string format_count(std::uint64_t n) {
   std::string raw = std::to_string(n);

@@ -16,6 +16,7 @@
 #include "telemetry/export.h"
 #include "telemetry/reporter.h"
 #include "trace/generator.h"
+#include "util/format.h"
 #include "util/rng.h"
 
 namespace instameasure::telemetry {
@@ -183,6 +184,33 @@ TEST(Export, JsonCarriesValuesAndPercentiles) {
   EXPECT_NE(json.find("\"p50\":"), std::string::npos);
   EXPECT_NE(json.find("\"p99\":"), std::string::npos);
   EXPECT_NE(json.find("\"max\":100"), std::string::npos);
+}
+
+// escaped() must neutralize every JSON-breaking byte a label can carry:
+// quotes, backslashes, and all control chars (newlines/tabs as their
+// two-char escapes, the rest as \uXXXX). A label value is attacker-ish
+// input — flow keys and CLI strings end up in labels — so the exporter
+// output must stay machine-parseable for any byte sequence.
+TEST(Export, EscapesControlCharactersInLabels) {
+  const std::string hostile = "a\"b\\c\nd\te\rf\x01g";
+  EXPECT_EQ(util::json_escape(hostile),
+            "a\\\"b\\\\c\\nd\\te\\rf\\u0001g");
+  if constexpr (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Registry registry;
+  auto c = registry.counter("test_hostile_total", "", {{"k", hostile}});
+  c.inc(1);
+  const auto json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf\\u0001g"),
+            std::string::npos);
+  const auto prom = to_prometheus(registry.snapshot());
+  for (const auto& text : {json, prom}) {
+    for (const char ch : text) {
+      // No raw control byte may survive into either exporter's output
+      // (structural newlines are the format's own, not the label's).
+      if (ch == '\n') continue;
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+    }
+  }
 }
 
 TEST(Export, SnapshotFindFiltersByLabel) {
