@@ -203,6 +203,35 @@ void BM_EngineProcessBatchPublished(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineProcessBatchPublished);
 
+// The batched pipeline (batch = 32) with the live accuracy-audit plane on
+// at its default 1/256 sampling — per packet that is one extra key hash +
+// mask reject, plus shadow accounting on the sampled slice. The acceptance
+// budget is <3% below BM_EngineProcessBatch/32
+// (scripts/check_audit_overhead.sh gates CI at audited >= 0.97x plain).
+void BM_EngineProcessBatchAudited(benchmark::State& state) {
+  auto config = engine_bench_config();
+  config.enable_audit = true;
+  core::InstaMeasure engine{config};
+  auto packets = engine_bench_packets();
+  constexpr std::size_t kBatch = 32;
+  std::size_t off = 0;
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    const std::span<netio::PacketRecord> slice{&packets[off], kBatch};
+    for (auto& p : slice) p.timestamp_ns = ++now;
+    engine.process_batch(slice);
+    off = (off + kBatch) & kEnginePoolMask;
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kBatch) / 1e6,
+      benchmark::Counter::kIsRate);
+  if (const auto* auditor = engine.auditor()) {
+    state.counters["shadow_flows"] = benchmark::Counter(
+        static_cast<double>(auditor->shadow_flows()));
+  }
+}
+BENCHMARK(BM_EngineProcessBatchAudited);
+
 // Same fast path with every metric exported to a registry and detection
 // enabled — the full observability cost. The delta vs BM_EngineProcess is
 // what a scraped deployment pays per packet (<3% is the budget).

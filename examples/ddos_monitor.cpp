@@ -42,6 +42,7 @@
 
 #include "analysis/latency.h"
 #include "analysis/stage_latency.h"
+#include "audit/auditor.h"
 #include "runtime/multicore.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
@@ -64,6 +65,11 @@ int run_live_dashboard(const trace::Trace& trace, const util::CliArgs& args,
   mc.workers = static_cast<unsigned>(args.get_int("workers", 4));
   mc.engine.regulator.l1_memory_bytes = 32 * 1024;
   mc.engine.wsaf.log2_entries = 18;
+  // Live accuracy audit beside the throughput rows: every shard shadows
+  // the same 1/16 slice of flow space (small demo traces need a fat slice
+  // to catch flows) and the dashboard prints streaming ARE/recall.
+  mc.engine.enable_audit = true;
+  mc.engine.audit.sample_shift = 4;
   // Dashboard cadence: publish every 16 K packets per worker so the view
   // refreshes many times per polling interval even at modest pace.
   mc.query_plane.publish_every_packets = 1 << 14;
@@ -103,6 +109,13 @@ int run_live_dashboard(const trace::Trace& trace, const util::CliArgs& args,
                   (item.key.src_ip >> 16) & 0xff, (item.key.src_ip >> 8) & 0xff,
                   item.key.src_ip & 0xff, item.packets);
     }
+    if constexpr (audit::kEnabled) {
+      const auto a = queries->audit();
+      if (a.comparisons > 0) {
+        std::printf(" | audit: ARE %.1f%% recall %.0f%%",
+                    a.are * 100, a.recall * 100);
+      }
+    }
     std::printf("\n");
   }
   runner.join();
@@ -121,6 +134,31 @@ int run_live_dashboard(const trace::Trace& trace, const util::CliArgs& args,
                 item.key.src_ip & 0xff, item.packets,
                 util::format_bytes(static_cast<std::uint64_t>(item.bytes))
                     .c_str());
+  }
+  if constexpr (audit::kEnabled) {
+    // The end-of-run audit summary is exact: each worker runs its
+    // exactness sweep as it drains, so these equal the offline
+    // analysis::metrics computation over the audited slice.
+    const auto a = queries->audit();
+    if (a.comparisons > 0) {
+      std::printf("\naccuracy audit (exact shadow of 1/%llu of flow "
+                  "space, %llu flows):\n",
+                  1ull << mc.engine.audit.sample_shift,
+                  static_cast<unsigned long long>(a.comparisons));
+      std::printf("  ARE %.2f%% (bias %+.2f%%) | HH recall %.0f%% "
+                  "precision %.0f%% (%llu true crossings)\n",
+                  a.are * 100, a.mean_rel_bias * 100, a.recall * 100,
+                  a.precision * 100,
+                  static_cast<unsigned long long>(a.true_hh));
+      std::printf("  undercounts %llu (sketch residual %llu, wsaf "
+                  "eviction %llu, shed compensation %llu), "
+                  "overcounts %llu\n",
+                  static_cast<unsigned long long>(a.undercount),
+                  static_cast<unsigned long long>(a.causes[0]),
+                  static_cast<unsigned long long>(a.causes[1]),
+                  static_cast<unsigned long long>(a.causes[2]),
+                  static_cast<unsigned long long>(a.overcount));
+    }
   }
   return 0;
 }

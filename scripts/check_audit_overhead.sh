@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Release-build guard for the live accuracy-audit plane's data-plane cost:
+# builds bench_micro, runs BM_EngineProcessBatch/32 (no audit) and
+# BM_EngineProcessBatchAudited (audit at the default 1/256 sampling) over
+# the shared DRAM-resident workload, and fails if auditing costs more than
+# (1 - TOLERANCE) of throughput. The budget is <3% (ISSUE 7); the default
+# floor 0.97 enforces exactly that.
+#
+# Usage: scripts/check_audit_overhead.sh
+#   BUILD=build-bench TOLERANCE=0.97 MIN_TIME=2.0 to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source scripts/lib_bench.sh
+
+BUILD=${BUILD:-build-bench}
+TOLERANCE=${TOLERANCE:-0.97}
+MIN_TIME=${MIN_TIME:-2.0}
+
+bench_build "$BUILD" bench_micro
+
+JSON=$(mktemp)
+trap 'rm -f "$JSON"' EXIT
+bench_micro_json "$BUILD" '^BM_EngineProcessBatch(/32|Audited)$' \
+  "$MIN_TIME" "$JSON"
+
+read -r PLAIN AUDITED <<<"$(
+  bench_mpps "$JSON" "BM_EngineProcessBatch/32" \
+    BM_EngineProcessBatchAudited | tr '\n' ' ')"
+bench_ratio_gate "batch/32 (no audit)" "$PLAIN" \
+  "batch/32 + audit" "$AUDITED" "$TOLERANCE" \
+  "accuracy-audit plane exceeds its throughput budget" \
+  "audit overhead within budget"

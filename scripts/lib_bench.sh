@@ -65,11 +65,13 @@ EOF
 }
 
 # bench_validate_trajectory <BENCH_*.json>: assert the document parses as
-# JSON and matches the v1 trajectory schema (analysis/trajectory.h) —
-# required top-level keys, a non-empty run matrix, and per-run throughput
+# JSON and matches the trajectory schema (analysis/trajectory.h, v1 or v2)
+# — required top-level keys, a non-empty run matrix, and per-run throughput
 # plus a perf block that is either real counters or explicit
-# "unavailable". The same contract bench_trajectory self-checks; this
-# re-validates the bytes that actually landed on disk.
+# "unavailable". v2 runs must additionally carry an accuracy object with an
+# explicit enabled flag and sane ARE/recall/precision ranges. The same
+# contract bench_trajectory self-checks; this re-validates the bytes that
+# actually landed on disk.
 bench_validate_trajectory() {
   python3 - "$1" <<'EOF'
 import json
@@ -78,7 +80,8 @@ import sys
 path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
-assert doc["schema_version"] == 1, f"schema_version {doc['schema_version']}"
+version = doc["schema_version"]
+assert version in (1, 2), f"schema_version {version}"
 for key in ("benchmark", "created_utc", "git_sha", "host", "config", "runs"):
     assert key in doc, f"missing key: {key}"
 assert doc["runs"], "empty run matrix"
@@ -89,7 +92,21 @@ for run in doc["runs"]:
         assert isinstance(perf["counters"], dict), "available but no counters"
     else:
         assert perf["counters"] == "unavailable", "unavailable must be explicit"
-print(f"{path}: schema v1 OK, {len(doc['runs'])} runs, "
-      f"perf {'available' if doc['runs'][0]['perf']['available'] else 'unavailable'}")
+    if version >= 2:
+        acc = run["accuracy"]
+        assert isinstance(acc, dict), f"accuracy not an object in {run['name']}"
+        assert isinstance(acc["enabled"], bool), "accuracy.enabled not a bool"
+        if acc["enabled"]:
+            assert acc["comparisons"] > 0, f"audit on but 0 comparisons in {run['name']}"
+            assert acc["are"] >= 0, f"negative ARE in {run['name']}"
+            assert 0 <= acc["recall"] <= 1, f"recall out of range in {run['name']}"
+            assert 0 <= acc["precision"] <= 1, f"precision out of range in {run['name']}"
+first = doc["runs"][0]
+audit = "off"
+if version >= 2 and first["accuracy"]["enabled"]:
+    audit = f"are={first['accuracy']['are']:.4f}"
+print(f"{path}: schema v{version} OK, {len(doc['runs'])} runs, "
+      f"perf {'available' if first['perf']['available'] else 'unavailable'}, "
+      f"audit {audit}")
 EOF
 }

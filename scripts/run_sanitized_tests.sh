@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Build with sanitizers and run the concurrency-sensitive test suites
 # (telemetry registry, SPSC queue, multi-core runtime, flight recorder,
-# the fault-injection chaos suite in tests/test_resilience.cpp, and the
+# the fault-injection chaos suite in tests/test_resilience.cpp, the
 # live query plane — including the QueryPlane ingest/query hammer in
-# tests/test_query_engine.cpp, where readers race worker publishes).
+# tests/test_query_engine.cpp, where readers race worker publishes — and
+# the accuracy-audit plane's audit-under-ingest hammer in
+# tests/test_audit.cpp, where a reader thread snapshots the auditors'
+# relaxed single-writer cells while the multicore engine ingests).
 # The telemetry fast path is wait-free single-writer atomics and the
 # multi-core batch pipeline prefetches shared-nothing shards — exactly the
 # kind of code where a stray data race or UB hides until a sanitizer
@@ -20,8 +23,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline|SnapshotChannel|QueryEngine|QueryPlane"}
-TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue|OverloadChaos|OverloadPaced|Watchdog|QueryPlane"}
+FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline|SnapshotChannel|QueryEngine|QueryPlane|AuditSampling|AuditDifferential|AuditConcurrency|AuditSummaryMerge"}
+TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue|OverloadChaos|OverloadPaced|Watchdog|QueryPlane|AuditConcurrency"}
 
 run_phase() {
   local sanitize=$1 build=$2 filter=$3 repeat=$4
@@ -29,7 +32,7 @@ run_phase() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$build" -j --target \
     test_telemetry test_spsc test_multicore test_flight_recorder \
-    test_resilience test_query_engine >/dev/null
+    test_resilience test_query_engine test_audit >/dev/null
   ctest --test-dir "$build" -R "$filter" --output-on-failure -j "$(nproc)" \
     --repeat "until-fail:$repeat"
   echo "sanitized ($sanitize) test run passed"

@@ -17,7 +17,11 @@ std::vector<ErrorBand> banded_errors(
 
   for (const auto& [key, t] : truth.flows()) {
     const auto size = by_bytes ? t.bytes : t.packets;
-    if (size < bands.front()) continue;
+    // A zero true count has no defined relative error (0/0); admitting it
+    // (possible when bands.front() == 0, or when measuring bytes and a
+    // flow recorded packets only) would poison the band's mean with NaN
+    // and leak into serialized reports. Skip it.
+    if (size == 0 || size < bands.front()) continue;
     // Highest band whose threshold the flow reaches.
     std::size_t band = 0;
     while (band + 1 < bands.size() && size >= bands[band + 1]) ++band;
@@ -43,15 +47,30 @@ std::vector<ErrorBand> banded_errors(
 }
 
 double top_k_recall(const std::vector<netio::FlowKey>& truth_top,
-                    const std::vector<netio::FlowKey>& est_top) {
-  if (truth_top.empty()) return 1.0;
+                    const std::vector<netio::FlowKey>& est_top,
+                    std::size_t k) {
+  // Evaluate over the first min(k, size) entries of each list: K larger
+  // than the truth list scores against what truth exists (never divides
+  // by the requested K), and K == 0 — or no truth at all — is trivially
+  // perfect rather than 0/0.
+  const std::size_t truth_n = std::min(k, truth_top.size());
+  if (truth_n == 0) return 1.0;
+  const std::size_t est_n = std::min(k, est_top.size());
   std::unordered_set<netio::FlowKey, netio::FlowKeyHash> est_set(
-      est_top.begin(), est_top.end());
+      est_top.begin(),
+      est_top.begin() + static_cast<std::ptrdiff_t>(est_n));
   std::uint64_t hits = 0;
-  for (const auto& key : truth_top) {
-    if (est_set.contains(key)) ++hits;
+  for (std::size_t i = 0; i < truth_n; ++i) {
+    // erase() on hit: a duplicated key in either list scores at most once.
+    if (est_set.erase(truth_top[i]) != 0) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(truth_top.size());
+  return static_cast<double>(hits) / static_cast<double>(truth_n);
+}
+
+double top_k_recall(const std::vector<netio::FlowKey>& truth_top,
+                    const std::vector<netio::FlowKey>& est_top) {
+  return top_k_recall(truth_top, est_top,
+                      std::max(truth_top.size(), est_top.size()));
 }
 
 HhAccuracy heavy_hitter_accuracy(const GroundTruth& truth,

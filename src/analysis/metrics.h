@@ -34,9 +34,16 @@ using Estimator = std::function<double(const netio::FlowKey&)>;
     const std::vector<std::uint64_t>& band_thresholds, bool by_bytes);
 
 /// Standard recall of an estimated top-K list against the true top-K:
-/// |est ∩ true| / K (the paper's Fig 10/11 recall metric).
+/// |est ∩ true| / K (the paper's Fig 10/11 recall metric). The two-list
+/// form scores the full lists; the explicit-K form truncates both lists to
+/// their first K entries and divides by min(K, |truth|), so K = 0 and
+/// truth shorter than K are well defined (1.0 and score-what-exists
+/// respectively, never 0/0). Duplicate keys score at most once.
 [[nodiscard]] double top_k_recall(const std::vector<netio::FlowKey>& truth_top,
                                   const std::vector<netio::FlowKey>& est_top);
+[[nodiscard]] double top_k_recall(const std::vector<netio::FlowKey>& truth_top,
+                                  const std::vector<netio::FlowKey>& est_top,
+                                  std::size_t k);
 
 /// Heavy-hitter confusion summary at a threshold.
 struct HhAccuracy {

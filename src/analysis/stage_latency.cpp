@@ -89,6 +89,8 @@ StageReport attribute_stages(std::span<const TraceEvent> events) {
   std::vector<double> pkt_to_l1, l1_to_l2, l2_to_wsaf, wsaf_to_detect,
       pkt_to_detect, detect_trace_ns, decode_ns;
   std::array<PerfStageCounters, telemetry::kPerfStageCount> perf{};
+  std::vector<double> audit_abs_err;
+  double audit_err_sum = 0;
 
   const auto delta = [](std::uint64_t from, std::uint64_t to,
                         std::vector<double>& into) {
@@ -150,6 +152,25 @@ StageReport attribute_stages(std::span<const TraceEvent> events) {
         }
         break;
       }
+      case TraceEventKind::kAudit: {
+        // payload = signed relative error; aux low byte = attribution code
+        // (0 within tolerance, 1..3 cause+1, 4 overcount), aux >> 8 = WSAF
+        // pressure level at comparison time.
+        auto& a = report.audit;
+        ++a.comparisons;
+        audit_abs_err.push_back(std::abs(e.payload));
+        audit_err_sum += e.payload;
+        const auto code = e.aux & 0xff;
+        if (code == 0) {
+          ++a.within_tolerance;
+        } else if (code - 1 < a.causes.size()) {
+          ++a.causes[code - 1];
+        } else {
+          ++a.overcount;
+        }
+        if ((e.aux >> 8) >= 1) ++a.under_pressure;
+        break;
+      }
       default:
         break;
     }
@@ -167,6 +188,17 @@ StageReport attribute_stages(std::span<const TraceEvent> events) {
     if (perf[s].samples == 0) continue;
     perf[s].stage = to_string(static_cast<telemetry::PerfStage>(s));
     report.perf.push_back(std::move(perf[s]));
+  }
+  if (!audit_abs_err.empty()) {
+    double abs_sum = 0;
+    for (const double v : audit_abs_err) abs_sum += v;
+    const auto n_cmp = static_cast<double>(audit_abs_err.size());
+    report.audit.mean_abs_rel_err = abs_sum / n_cmp;
+    report.audit.mean_rel_err = audit_err_sum / n_cmp;
+    // quantiles_of sorts in place and speaks "ns" in its field names; the
+    // values here are unitless relative errors — format_stage_report
+    // prints them as percentages.
+    report.audit.abs_rel_err = quantiles_of("|rel err|", audit_abs_err);
   }
   return report;
 }
@@ -193,6 +225,33 @@ std::string format_stage_report(const StageReport& report) {
                 static_cast<unsigned long long>(report.epoch_seals));
   out += buf;
   append_row(out, report.collector_decode);
+
+  if (report.audit.comparisons > 0) {
+    const auto& a = report.audit;
+    std::snprintf(buf, sizeof buf,
+                  "accuracy audit (%llu shadow comparisons, %llu at "
+                  "elevated+ WSAF pressure):\n",
+                  static_cast<unsigned long long>(a.comparisons),
+                  static_cast<unsigned long long>(a.under_pressure));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  rel err: mean %.3f%% (bias %+.3f%%)  p50 %.3f%%  "
+                  "p99 %.3f%%  max %.3f%%\n",
+                  a.mean_abs_rel_err * 100, a.mean_rel_err * 100,
+                  a.abs_rel_err.p50_ns * 100, a.abs_rel_err.p99_ns * 100,
+                  a.abs_rel_err.max_ns * 100);
+    out += buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  attribution: %llu ok, %llu sketch_residual, %llu wsaf_eviction, "
+        "%llu shed_compensation, %llu overcount\n",
+        static_cast<unsigned long long>(a.within_tolerance),
+        static_cast<unsigned long long>(a.causes[0]),
+        static_cast<unsigned long long>(a.causes[1]),
+        static_cast<unsigned long long>(a.causes[2]),
+        static_cast<unsigned long long>(a.overcount));
+    out += buf;
+  }
 
   if (!report.perf.empty()) {
     out +=

@@ -79,6 +79,25 @@ struct StageReport {
   /// trace carries no kPerfCounters events (perf unavailable or unarmed).
   std::vector<PerfStageCounters> perf;
 
+  /// Accuracy-audit rollup from kAudit events (audit/auditor.h): each
+  /// event's payload is a signed relative error of one shadow comparison,
+  /// its aux low byte an attribution code (0 = within tolerance, 1..3 =
+  /// undercount audit::Cause + 1, 4 = overcount) and its higher bits the
+  /// WSAF pressure level at comparison time.
+  struct AuditRollup {
+    std::uint64_t comparisons = 0;
+    double mean_abs_rel_err = 0;       ///< ARE over the traced comparisons
+    double mean_rel_err = 0;           ///< signed bias
+    StageQuantiles abs_rel_err;        ///< |rel err| quantiles (unitless, not ns)
+    std::uint64_t within_tolerance = 0;
+    std::uint64_t overcount = 0;
+    /// Undercounts by audit::Cause order: sketch_residual, wsaf_eviction,
+    /// shed_compensation.
+    std::array<std::uint64_t, 3> causes{};
+    std::uint64_t under_pressure = 0;  ///< comparisons at elevated+ pressure
+  };
+  AuditRollup audit;
+
   std::uint64_t events = 0;       ///< events analyzed
   std::uint64_t detections = 0;   ///< kDetection events seen
   std::uint64_t epoch_seals = 0;  ///< kEpochSeal events seen

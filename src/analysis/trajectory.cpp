@@ -180,12 +180,20 @@ struct Parser {
         while (true) {
           skip_ws();
           std::string key;
-          if (!string(depth == 0 ? &key : nullptr)) return false;
+          if (!string(&key)) return false;
+          const bool is_accuracy = key == "accuracy";
           if (depth == 0) root_keys.push_back(std::move(key));
           skip_ws();
           if (pos >= in.size() || in[pos] != ':') return fail("expected ':'");
           ++pos;
-          if (!value(depth + 1)) return false;
+          if (is_accuracy && depth > 0) {
+            // A run's accuracy block (schema v2) must be an object with the
+            // required members — a corrupt section is a validation error,
+            // not merely odd data.
+            if (!accuracy_block(depth + 1)) return false;
+          } else if (!value(depth + 1)) {
+            return false;
+          }
           skip_ws();
           if (pos < in.size() && in[pos] == ',') {
             ++pos;
@@ -231,6 +239,61 @@ struct Parser {
         return number();
     }
   }
+
+  /// Parse one `accuracy` member value: must be an object and must carry
+  /// the v2 accuracy keys (extra keys are fine — forward compatible).
+  [[nodiscard]] bool accuracy_block(int depth) {
+    skip_ws();
+    if (pos >= in.size() || in[pos] != '{') {
+      return fail("accuracy is not an object");
+    }
+    ++pos;
+    std::vector<std::string> keys;
+    skip_ws();
+    if (pos < in.size() && in[pos] == '}') {
+      ++pos;
+    } else {
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(&key)) return false;
+        keys.push_back(std::move(key));
+        skip_ws();
+        if (pos >= in.size() || in[pos] != ':') return fail("expected ':'");
+        ++pos;
+        if (!value(depth + 1)) return false;
+        skip_ws();
+        if (pos < in.size() && in[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < in.size() && in[pos] == '}') {
+          ++pos;
+          break;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    for (const char* want :
+         {"enabled", "sampled_flows", "comparisons", "are", "recall",
+          "precision"}) {
+      bool found = false;
+      for (const auto& k : keys) {
+        if (k == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        err = std::string{"accuracy block missing key: "} + want;
+        return false;
+      }
+    }
+    ++accuracy_blocks;
+    return true;
+  }
+
+  std::size_t accuracy_blocks = 0;  ///< accuracy members validated
 };
 
 }  // namespace
@@ -369,7 +432,39 @@ std::string build_trajectory_json(const TrajectoryMeta& meta,
       }
       out += "\n       ]";
     }
+    out += "}";  // close perf
+    out += ",\n     \"accuracy\": {\"enabled\": ";
+    out += run.accuracy.enabled ? "true" : "false";
+    out += ", \"sample_shift\": ";
+    append_u64(out, run.accuracy.sample_shift);
+    out += ", \"sampled_flows\": ";
+    append_u64(out, run.accuracy.sampled_flows);
+    out += ", \"sampled_packets\": ";
+    append_u64(out, run.accuracy.sampled_packets);
+    out += ",\n       \"comparisons\": ";
+    append_u64(out, run.accuracy.comparisons);
+    out += ", \"are\": ";
+    append_num(out, run.accuracy.are);
+    out += ", \"mean_rel_bias\": ";
+    append_num(out, run.accuracy.mean_rel_bias);
+    out += ", \"recall\": ";
+    append_num(out, run.accuracy.recall);
+    out += ", \"precision\": ";
+    append_num(out, run.accuracy.precision);
+    out += ",\n       \"true_hh\": ";
+    append_u64(out, run.accuracy.true_hh);
+    out += ", \"undercount\": ";
+    append_u64(out, run.accuracy.undercount);
+    out += ", \"overcount\": ";
+    append_u64(out, run.accuracy.overcount);
+    out += ",\n       \"causes\": {\"sketch_residual\": ";
+    append_u64(out, run.accuracy.cause_sketch_residual);
+    out += ", \"wsaf_eviction\": ";
+    append_u64(out, run.accuracy.cause_wsaf_eviction);
+    out += ", \"shed_compensation\": ";
+    append_u64(out, run.accuracy.cause_shed_compensation);
     out += "}}";
+    out += "}";  // close run
   }
   out += "\n  ]\n}\n";
   return out;
@@ -406,17 +501,22 @@ bool validate_trajectory_json(std::string_view json, std::string* error) {
 
   // Cheap version pin: our emitter writes the key/value with this exact
   // spacing; hand-edited documents just need the pair present somewhere.
-  char want[48];
-  std::snprintf(want, sizeof want, "\"schema_version\": %d",
-                kTrajectorySchemaVersion);
-  if (json.find(want) == std::string_view::npos) {
+  // Every version in [min, current] is accepted — v1 documents (no
+  // accuracy blocks) remain comparable history.
+  bool version_ok = false;
+  for (int v = kTrajectoryMinSchemaVersion; v <= kTrajectorySchemaVersion;
+       ++v) {
+    char want[48];
+    std::snprintf(want, sizeof want, "\"schema_version\": %d", v);
     char alt[48];
-    std::snprintf(alt, sizeof alt, "\"schema_version\":%d",
-                  kTrajectorySchemaVersion);
-    if (json.find(alt) == std::string_view::npos) {
-      return set_error("schema_version mismatch");
+    std::snprintf(alt, sizeof alt, "\"schema_version\":%d", v);
+    if (json.find(want) != std::string_view::npos ||
+        json.find(alt) != std::string_view::npos) {
+      version_ok = true;
+      break;
     }
   }
+  if (!version_ok) return set_error("schema_version mismatch");
   return true;
 }
 

@@ -28,14 +28,43 @@
 namespace instameasure::analysis {
 
 /// Bump on any breaking change to the document layout. Consumers must
-/// check this before comparing documents across commits.
-inline constexpr int kTrajectorySchemaVersion = 1;
+/// check this before comparing documents across commits. v2 added the
+/// per-run `accuracy` block (live audit-plane ARE/recall beside Mpps);
+/// the validator still accepts v1 documents, which simply lack it.
+inline constexpr int kTrajectorySchemaVersion = 2;
+
+/// Schema versions validate_trajectory_json accepts.
+inline constexpr int kTrajectoryMinSchemaVersion = 1;
 
 /// One pipeline stage's accumulated counters inside one run (batch runs
 /// only — the scalar path has no stage structure to attribute to).
 struct TrajectoryStage {
   std::string stage;  ///< "hash_layout" | "regulator_update" | "wsaf_drain"
   telemetry::PerfStageTotals totals;
+};
+
+/// Live accuracy-audit results of one run (schema v2): the audit plane's
+/// end-of-run exact summary, so BENCH_*.json tracks ARE/recall beside
+/// Mpps. Mirrors audit::AuditSummary without depending on im_audit —
+/// enabled=false (the default) serializes as an explicit disabled block,
+/// never silent zeros.
+struct TrajectoryAccuracy {
+  bool enabled = false;
+  unsigned sample_shift = 0;      ///< audited slice = 1/2^shift of the ring
+  std::uint64_t sampled_flows = 0;
+  std::uint64_t sampled_packets = 0;
+  std::uint64_t comparisons = 0;
+  double are = 0;
+  double mean_rel_bias = 0;
+  double recall = 1;
+  double precision = 1;
+  std::uint64_t true_hh = 0;
+  std::uint64_t undercount = 0;
+  std::uint64_t overcount = 0;
+  /// Undercount attribution, audit::Cause order.
+  std::uint64_t cause_sketch_residual = 0;
+  std::uint64_t cause_wsaf_eviction = 0;
+  std::uint64_t cause_shed_compensation = 0;
 };
 
 /// One cell of the workload matrix.
@@ -57,6 +86,9 @@ struct TrajectoryRun {
   std::uint64_t sampled_packets = 0;
   std::uint64_t sampled_chunks = 0;
   std::vector<TrajectoryStage> stages;
+
+  /// Live audit-plane summary (schema v2).
+  TrajectoryAccuracy accuracy;
 };
 
 struct TrajectoryHost {
@@ -95,10 +127,14 @@ struct TrajectoryMeta {
     const TrajectoryMeta& meta, std::span<const TrajectoryRun> runs);
 
 /// Structural validation: `json` must be one well-formed JSON value, a
-/// top-level object, with schema_version == kTrajectorySchemaVersion and
-/// the required top-level keys (benchmark, created_utc, git_sha, host,
-/// config, runs). On failure returns false and, when `error` is non-null,
-/// a one-line reason. This is the same check the emitted-file tests and
+/// top-level object, with a schema_version in
+/// [kTrajectoryMinSchemaVersion, kTrajectorySchemaVersion] and the
+/// required top-level keys (benchmark, created_utc, git_sha, host,
+/// config, runs). Every `accuracy` member (v2 runs; absent in v1) must be
+/// an object carrying the required accuracy keys — a corrupt accuracy
+/// section fails validation even when the JSON itself is well formed. On
+/// failure returns false and, when `error` is non-null, a one-line
+/// reason. This is the same check the emitted-file tests and
 /// scripts/run_bench_trajectory.sh apply.
 [[nodiscard]] bool validate_trajectory_json(std::string_view json,
                                             std::string* error = nullptr);

@@ -50,6 +50,24 @@ using SteadyClock = std::chrono::steady_clock;
       config.wsaf.trace_track = config.trace_track;
     }
   }
+  if (config.enable_audit) {
+    if (config.audit.registry == nullptr && config.registry != nullptr) {
+      config.audit.registry = config.registry;
+      config.audit.labels = config.labels;
+    }
+    if (config.audit.trace == nullptr && config.trace != nullptr) {
+      config.audit.trace = config.trace;
+      config.audit.trace_track = config.trace_track;
+    }
+    // The auditor's ground-truth detector mirrors the engine's thresholds
+    // unless the caller audits against different ones deliberately.
+    if (config.audit.packet_threshold == 0) {
+      config.audit.packet_threshold = config.heavy_hitter.packet_threshold;
+    }
+    if (config.audit.byte_threshold == 0) {
+      config.audit.byte_threshold = config.heavy_hitter.byte_threshold;
+    }
+  }
   return config;
 }
 
@@ -63,6 +81,11 @@ InstaMeasure::InstaMeasure(const EngineConfig& config)
       trace_track_(config_.trace_track),
       perf_(config_.perf) {
   if (config.track_top_k > 0) tracker_.emplace(config.track_top_k);
+  if constexpr (audit::kEnabled) {
+    if (config_.enable_audit) {
+      audit_ = std::make_unique<audit::Auditor>(config_.audit);
+    }
+  }
   if (config_.publish_views) {
     auto pub = config_.publish;
     // Inherit the engine's instrumentation wiring unless the caller set
@@ -127,6 +150,9 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
     const auto totals = wsaf_.accumulate(rec.key, flow_hash,
                                          event->est_packets, event->est_bytes,
                                          rec.timestamp_ns);
+    if constexpr (audit::kEnabled) {
+      if (audit_) audit_->on_accumulate(rec.key);
+    }
     if constexpr (telemetry::kEnabled) {
       tel_event_accumulate_ns_.record(ns_between(e0, SteadyClock::now()));
       // The ratio moves only when an insertion happens, so updating it on
@@ -141,6 +167,18 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
         config_.heavy_hitter.byte_threshold > 0) {
       check_heavy_hitter(rec.key, flow_hash, totals.packets, totals.bytes,
                          totals.first_seen_ns, rec.timestamp_ns);
+    }
+  }
+  if constexpr (audit::kEnabled) {
+    if (audit_) {
+      // Observe AFTER the engine absorbed the packet so a due comparison
+      // reads an estimate that includes it.
+      if (auto* flow =
+              audit_->observe(rec.key, rec.wire_len, rec.timestamp_ns)) {
+        audit_->record_comparison(
+            *flow, audit_estimate(rec.key, flow_hash),
+            static_cast<int>(wsaf_.pressure().level), rec.timestamp_ns);
+      }
     }
   }
   if (publisher_) publisher_->maybe_publish(wsaf_, rec.timestamp_ns);
@@ -260,6 +298,9 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
     const auto totals =
         wsaf_.accumulate(rec.key, flow_hash, pending[p].event.est_packets,
                          pending[p].event.est_bytes, rec.timestamp_ns);
+    if constexpr (audit::kEnabled) {
+      if (audit_) audit_->on_accumulate(rec.key);
+    }
     if constexpr (telemetry::kEnabled) {
       tel_event_accumulate_ns_.record(ns_between(e0, SteadyClock::now()));
       tel_ips_pps_ratio_.set(regulator_.regulation_rate());
@@ -280,6 +321,25 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
       // its per-item rates read as misses-per-WSAF-probe.
       perf_->stage_commit(telemetry::PerfStage::kWsafDrain, n_pending);
       perf_->end_chunk(n);
+    }
+  }
+
+  // Audit pass: one loop over the chunk after the drain, so comparisons
+  // read end-of-chunk estimates (the scalar path compares mid-stream; both
+  // converge to the identical final_sweep numbers — the differential suite
+  // pins that). Keeping it out of stages 1-3 leaves their prefetch overlap
+  // untouched; the unsampled reject is one hash + mask test per packet.
+  if constexpr (audit::kEnabled) {
+    if (audit_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (auto* flow = audit_->observe(recs[i].key, recs[i].wire_len,
+                                         recs[i].timestamp_ns)) {
+          audit_->record_comparison(
+              *flow, audit_estimate(recs[i].key, hashes[i]),
+              static_cast<int>(wsaf_.pressure().level),
+              recs[i].timestamp_ns);
+        }
+      }
     }
   }
 
@@ -318,6 +378,9 @@ void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,
                      static_cast<std::uint32_t>(TopKMetric::kPackets));
       }
     }
+    if constexpr (audit::kEnabled) {
+      if (audit_) audit_->on_detection(key, /*by_bytes=*/false, now_ns);
+    }
     reported = true;
   }
   if (hh.byte_threshold > 0 && bytes >= hh.byte_threshold &&
@@ -332,10 +395,38 @@ void InstaMeasure::check_heavy_hitter(const netio::FlowKey& key,
                      static_cast<std::uint32_t>(TopKMetric::kBytes));
       }
     }
+    if constexpr (audit::kEnabled) {
+      if (audit_) audit_->on_detection(key, /*by_bytes=*/true, now_ns);
+    }
     reported = true;
   }
   if (reported) {
     tel_reported_flows_.set(static_cast<double>(reported_flows()));
+  }
+}
+
+audit::Estimate InstaMeasure::audit_estimate(const netio::FlowKey& key,
+                                             std::uint64_t flow_hash) const {
+  // query() restated so the auditor sees exactly what a caller would.
+  audit::Estimate est;
+  if (const auto entry = wsaf_.lookup(key, flow_hash)) {
+    est.packets = entry->packets;
+    est.bytes = entry->bytes;
+    est.in_wsaf = true;
+  }
+  est.packets += regulator_.residual_packets(flow_hash);
+  est.bytes += regulator_.residual_bytes(flow_hash);
+  return est;
+}
+
+void InstaMeasure::audit_final_sweep() {
+  if constexpr (audit::kEnabled) {
+    if (!audit_) return;
+    audit_->final_sweep(
+        [this](const netio::FlowKey& key) {
+          return audit_estimate(key, key.hash(config_.seed));
+        },
+        wsaf_.latest_ns());
   }
 }
 
@@ -364,6 +455,7 @@ void InstaMeasure::reset() {
   regulator_.reset();
   wsaf_.reset();
   if (tracker_) tracker_->reset();
+  if (audit_) audit_->reset();
   clear_detections();
 }
 

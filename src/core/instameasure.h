@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/auditor.h"
 #include "core/flow_regulator.h"
 #include "core/topk_tracker.h"
 #include "core/topk.h"
@@ -81,6 +82,17 @@ struct EngineConfig {
   /// process()/process_batch() (perf groups count the opening thread);
   /// when perf is unavailable the per-chunk cost is one relaxed load.
   telemetry::PerfStageProfiler* perf = nullptr;
+  /// Live accuracy audit: when true (and the audit plane is compiled in),
+  /// the engine owns an audit::Auditor that keeps an exact shadow account
+  /// for the hash-sampled slice in `audit` and compares estimates against
+  /// it inline — the im_audit_* series and kAudit trace events. The
+  /// auditor inherits registry/labels/trace/track and the heavy-hitter
+  /// thresholds unless `audit` sets its own. Costs one extra key hash per
+  /// packet when on; a disabled-at-build auditor (ENABLE_AUDIT=OFF)
+  /// compiles the hooks out entirely, and enable_audit=false leaves the
+  /// packet paths bit-identical to pre-audit builds.
+  bool enable_audit = false;
+  audit::AuditConfig audit{};
   /// Software prefetch in the batched path: the layout pass prefetches
   /// each packet's sketch lines a full chunk (up to 64 packets) ahead of
   /// the update pass, and saturation events' WSAF slots get the rest of
@@ -165,6 +177,27 @@ class InstaMeasure {
                       : false;
   }
 
+  /// The live accuracy auditor (null unless enable_audit and the audit
+  /// plane is compiled in). summary() is safe from any thread.
+  [[nodiscard]] const audit::Auditor* auditor() const noexcept {
+    return audit_.get();
+  }
+
+  /// Resilience hook: `rec`'s counts are about to be (or were) replayed
+  /// `weight` times by the shed ladder — tells the auditor so errors on
+  /// this flow attribute to shed compensation, not the sketch.
+  void audit_note_shed(const netio::PacketRecord& rec, std::uint64_t weight) {
+    if constexpr (audit::kEnabled) {
+      if (audit_) audit_->note_shed(rec.key, weight);
+    }
+  }
+
+  /// End-of-run exactness pass: re-compares every audited flow against the
+  /// engine's current estimate so im_audit_are / im_audit_recall equal the
+  /// offline analysis::metrics result over the sampled slice. Writer
+  /// thread only (reads the WSAF unsynchronized).
+  void audit_final_sweep();
+
   /// Overload signal of the measurement state (currently the WSAF's
   /// occupancy/eviction pressure — the structure whose overload silently
   /// degrades accuracy). The runtime reports this and can shed on it.
@@ -205,9 +238,14 @@ class InstaMeasure {
                           double packets, double bytes,
                           std::uint64_t first_seen_ns, std::uint64_t now_ns);
 
+  /// Estimate read-back for the auditor: query() restated in audit types.
+  [[nodiscard]] audit::Estimate audit_estimate(const netio::FlowKey& key,
+                                               std::uint64_t flow_hash) const;
+
   EngineConfig config_;
   FlowRegulator regulator_;
   WsafTable wsaf_;
+  std::unique_ptr<audit::Auditor> audit_;  ///< null unless enable_audit
   std::vector<HhDetection> detections_;
   std::unique_ptr<ViewPublisher> publisher_;  ///< null unless publish_views
   std::optional<TopKTracker> tracker_;

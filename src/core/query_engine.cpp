@@ -107,6 +107,23 @@ std::size_t QueryEngine::active_flow_count() const {
   return total;
 }
 
+audit::AuditSummary QueryEngine::audit() const {
+  audit::AuditSummary merged;
+  bool first = true;
+  for (const auto* auditor : config_.auditors) {
+    if (auditor == nullptr) continue;
+    merged = first ? auditor->summary() : audit::merge(merged, auditor->summary());
+    first = false;
+  }
+  if (first) {
+    // No auditors: an empty audit has perfect (vacuous) recall/precision,
+    // matching what summary() reports before any truth crossing.
+    merged.recall = 1.0;
+    merged.precision = 1.0;
+  }
+  return merged;
+}
+
 std::uint64_t QueryEngine::snapshot_age_ns() const {
   return snapshot_age_unlocked_();
 }

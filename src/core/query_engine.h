@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "audit/auditor.h"
 #include "core/snapshot_channel.h"
 #include "core/topk.h"
 #include "core/wsaf_view.h"
@@ -41,6 +42,11 @@ struct QueryEngineConfig {
   telemetry::Labels labels{};
   telemetry::TraceRecorder* trace = nullptr;
   unsigned trace_track = 0;
+  /// Per-shard accuracy auditors to merge in audit() — typically one per
+  /// worker engine (MultiCoreEngine wires them up when auditing is on).
+  /// Auditor::summary() is any-thread safe, so queries may run while the
+  /// shards ingest.
+  std::vector<const audit::Auditor*> auditors{};
 };
 
 class QueryEngine {
@@ -65,6 +71,17 @@ class QueryEngine {
 
   /// Live flows across all shards (sum of view entry counts).
   [[nodiscard]] std::size_t active_flow_count() const;
+
+  /// Live accuracy snapshot: the attached shard auditors' summaries merged
+  /// (counts summed, ARE/recall recomputed from the raw sums — never an
+  /// average of averages). All-zero / recall=precision=1 when no auditors
+  /// are attached or auditing is compiled out. Any thread, any time.
+  [[nodiscard]] audit::AuditSummary audit() const;
+
+  /// Number of shard auditors attached.
+  [[nodiscard]] std::size_t auditors() const noexcept {
+    return config_.auditors.size();
+  }
 
   /// Steady-clock nanoseconds since the OLDEST shard's view was published
   /// — the upper bound on how stale any part of an answer can be. Returns

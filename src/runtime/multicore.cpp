@@ -132,6 +132,12 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     }
     core::QueryEngineConfig qc;
     qc.registry = registry_;
+    if (config.engine.enable_audit) {
+      qc.auditors.reserve(n);
+      for (const auto& engine : engines_) {
+        qc.auditors.push_back(engine->auditor());
+      }
+    }
     if constexpr (telemetry::kEnabled) {
       // Queries run on arbitrary reader threads; they may only trace when
       // the recorder has a spare track beyond the workers' and manager's
@@ -251,6 +257,10 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
             }
             i += run_len;
           } else {
+            // Tell the auditor this flow's exact account is about to absorb
+            // compensation replay, so audited error on it attributes to the
+            // shed ladder rather than the sketch.
+            engine.audit_note_shed(*burst[i].rec, burst[i].weight);
             for (std::uint32_t j = 0; j < burst[i].weight; ++j) {
               engine.process(*burst[i].rec);
             }
@@ -294,8 +304,11 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
           }
           // Final publish from the worker (writer) thread, after the last
           // packet: queries issued after run() returns see the complete
-          // shard without touching the table.
+          // shard without touching the table. The audit sweep runs on the
+          // same (writer) thread for the same reason — it reads the WSAF —
+          // and makes the im_audit_are/recall gauges end-of-run exact.
           engine.publish_view_now();
+          engine.audit_final_sweep();
           pressure[w].store(static_cast<int>(engine.pressure().level),
                             std::memory_order_relaxed);
           break;

@@ -103,7 +103,13 @@ struct MultiCoreConfig {
   /// the publish tick entirely.
   bool enable_query_plane = true;
   core::ViewPublishConfig query_plane{};
-  core::EngineConfig engine{};  ///< per-worker; memory is per worker (×N total)
+  /// Per-worker engine template; memory is per worker (×N total). Setting
+  /// engine.enable_audit turns on the live accuracy-audit plane in every
+  /// shard: the audit sample seed is NOT decorrelated (unlike the engine
+  /// seed below), so all workers audit the same slice of flow space, the
+  /// per-shard auditors are attached to queries()->audit(), and each
+  /// worker runs its exactness sweep as it drains at end of run.
+  core::EngineConfig engine{};
   /// Registry every worker engine and the runtime export into (each series
   /// labeled worker="N"). When null the engine owns a private registry,
   /// reachable via registry(), so metrics are always available.

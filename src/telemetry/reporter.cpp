@@ -2,6 +2,7 @@
 
 #if !defined(INSTAMEASURE_TELEMETRY_DISABLED)
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
@@ -54,11 +55,27 @@ void SnapshotReporter::write_now() {
     config_.stream->flush();
     wrote = true;
   } else if (!config_.path.empty()) {
-    std::ofstream out{config_.path, std::ios::trunc};
-    if (out) {
-      out << text;
-      if (config_.format == ReporterConfig::Format::kJson) out << "\n";
-      wrote = out.good();
+    // Atomic textfile publish: write the full snapshot to <path>.tmp, then
+    // rename over the target. A concurrent reader (node_exporter textfile
+    // collector, tail -f, the tests' hammer thread) sees either the
+    // previous complete snapshot or the new complete snapshot — never a
+    // truncated or half-written file, which the old in-place ios::trunc
+    // write could expose between open and close.
+    const std::string tmp = config_.path + ".tmp";
+    {
+      std::ofstream out{tmp, std::ios::trunc};
+      if (out) {
+        out << text;
+        if (config_.format == ReporterConfig::Format::kJson) out << "\n";
+        out.flush();
+        wrote = out.good();
+      }
+    }
+    if (wrote) {
+      wrote = std::rename(tmp.c_str(), config_.path.c_str()) == 0;
+      if (!wrote) std::remove(tmp.c_str());
+    } else {
+      std::remove(tmp.c_str());
     }
   }
   // Count only successful writes: snapshots_written() == 0 is the caller's

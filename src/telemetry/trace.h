@@ -57,6 +57,10 @@ enum class TraceEventKind : std::uint8_t {
   kQueryMerge,        ///< query: cross-shard merge served (payload=entries)
   kPerfCounters,      ///< perf: sampled HW counter delta (aux=stage|field<<8,
                       ///< see perf_counters.h encoding; payload=value)
+  kAudit,             ///< audit: estimate vs shadow truth (payload=signed rel
+                      ///< error; aux=code | pressure<<8, code 0 = within
+                      ///< tolerance, 1..3 = cause+1, 4 = overcount; see
+                      ///< audit/auditor.h)
   kKindCount
 };
 
@@ -90,6 +94,7 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kViewPublish: return "view_publish";
     case TraceEventKind::kQueryMerge: return "query_merge";
     case TraceEventKind::kPerfCounters: return "perf_counters";
+    case TraceEventKind::kAudit: return "audit";
     case TraceEventKind::kKindCount: break;
   }
   return "?";
@@ -116,6 +121,7 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kViewPublish:
     case TraceEventKind::kQueryMerge: return "query";
     case TraceEventKind::kPerfCounters: return "perf";
+    case TraceEventKind::kAudit: return "audit";
     case TraceEventKind::kKindCount: break;
   }
   return "?";

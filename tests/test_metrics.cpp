@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace instameasure::analysis {
 namespace {
 
@@ -81,6 +83,77 @@ TEST(TopKRecall, PerfectAndPartial) {
   EXPECT_DOUBLE_EQ(top_k_recall(truth_top, half), 0.5);
   EXPECT_DOUBLE_EQ(top_k_recall(truth_top, {}), 0.0);
   EXPECT_DOUBLE_EQ(top_k_recall({}, half), 1.0) << "vacuous truth";
+}
+
+TEST(TopKRecall, ExplicitKEdgeCases) {
+  std::vector<netio::FlowKey> truth_top{key_n(1), key_n(2), key_n(3),
+                                        key_n(4)};
+  std::vector<netio::FlowKey> est{key_n(1), key_n(2)};
+  // K = 0 is vacuous, never 0/0.
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, est, 0), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_recall({}, {}, 0), 1.0);
+  // K truncates both lists: only the first 2 truth entries count.
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, est, 2), 1.0);
+  // K larger than the truth list scores against what truth exists
+  // (denominator min(K, |truth|) = 4), not the requested K = 100.
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, est, 100), 0.5);
+  // Truth shorter than the estimate list, K beyond both.
+  std::vector<netio::FlowKey> short_truth{key_n(1)};
+  EXPECT_DOUBLE_EQ(top_k_recall(short_truth, truth_top, 100), 1.0);
+}
+
+TEST(TopKRecall, DuplicateKeysScoreOnce) {
+  std::vector<netio::FlowKey> truth_top{key_n(1), key_n(1), key_n(2)};
+  std::vector<netio::FlowKey> est{key_n(1), key_n(3), key_n(4)};
+  // key 1 appears twice in truth but matches one estimate entry; it must
+  // not count as two hits (which would report recall 2/3).
+  EXPECT_DOUBLE_EQ(top_k_recall(truth_top, est), 1.0 / 3.0);
+}
+
+TEST(BandedErrors, ZeroTrueCountNeverYieldsNaN) {
+  // A band threshold of 0 admits every flow — including one with zero
+  // true bytes (packets recorded, bytes measured would be fine; here we
+  // build a flow whose packet count is 0 via an empty truth plus a direct
+  // zero-size flow below). The relative error of a zero-size flow is
+  // undefined (0/0); it must be skipped, not averaged in as NaN.
+  trace::Trace trace;
+  trace.packets.push_back({0, key_n(0), 100});  // flow 0: 1 packet
+  const GroundTruth truth{trace};
+  const auto bands = banded_errors(
+      truth, [](const netio::FlowKey&) { return 10.0; }, {0}, false);
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands[0].flows, 1u);
+  EXPECT_FALSE(std::isnan(bands[0].mean_abs_rel_error));
+  EXPECT_FALSE(std::isnan(bands[0].mean_rel_bias));
+  EXPECT_FALSE(std::isnan(bands[0].std_error));
+
+  // Same threshold-0 query measured by *bytes* against a trace whose
+  // packets carry wire_len 0: every flow has zero true bytes, so the band
+  // must come back empty (flows = 0) with finite zeros, not NaN.
+  trace::Trace zero_bytes;
+  zero_bytes.packets.push_back({0, key_n(1), 0});
+  const GroundTruth zero_truth{zero_bytes};
+  const auto zero_bands = banded_errors(
+      zero_truth, [](const netio::FlowKey&) { return 10.0; }, {0}, true);
+  ASSERT_EQ(zero_bands.size(), 1u);
+  EXPECT_EQ(zero_bands[0].flows, 0u);
+  EXPECT_DOUBLE_EQ(zero_bands[0].mean_abs_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(zero_bands[0].mean_rel_bias, 0.0);
+  EXPECT_DOUBLE_EQ(zero_bands[0].std_error, 0.0);
+}
+
+TEST(BandedErrors, EmptyBandReportsFiniteZeros) {
+  // No flow reaches the top band: its summary must be all finite zeros
+  // (StreamingStats empty-state contract), safe to serialize.
+  const auto truth = make_truth({50});
+  const auto bands = banded_errors(
+      truth, [](const netio::FlowKey&) { return 50.0; }, {10, 1'000'000},
+      false);
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_EQ(bands[1].flows, 0u);
+  EXPECT_FALSE(std::isnan(bands[1].mean_abs_rel_error));
+  EXPECT_DOUBLE_EQ(bands[1].mean_abs_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(bands[1].std_error, 0.0);
 }
 
 TEST(HhAccuracy, PerfectDetection) {

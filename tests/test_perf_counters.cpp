@@ -294,11 +294,60 @@ TEST(Trajectory, ValidatorRejectsGarbage) {
                                                   &err));
   auto doc = analysis::build_trajectory_json(
       fake_meta(), std::vector<analysis::TrajectoryRun>{});
-  const auto pos = doc.find("\"schema_version\": 1");
+  const auto pos = doc.find("\"schema_version\": 2");
   ASSERT_NE(pos, std::string::npos);
-  doc.replace(pos, std::string{"\"schema_version\": 1"}.size(),
+  doc.replace(pos, std::string{"\"schema_version\": 2"}.size(),
               "\"schema_version\": 999");
   EXPECT_FALSE(analysis::validate_trajectory_json(doc, &err));
+}
+
+TEST(Trajectory, ValidatorAcceptsV1Documents) {
+  // Pre-accuracy documents (schema v1: no per-run accuracy block) remain
+  // valid history — the trajectory's whole point is comparison across
+  // commits.
+  const std::string v1 =
+      "{\"schema_version\": 1, \"benchmark\": \"bench_trajectory\", "
+      "\"created_utc\": \"2026-01-01T00:00:00Z\", \"git_sha\": \"abc\", "
+      "\"host\": {\"hostname\": \"h\"}, \"config\": {}, \"runs\": ["
+      "{\"name\": \"scalar\", \"mpps\": 1.0}]}";
+  std::string err;
+  EXPECT_TRUE(analysis::validate_trajectory_json(v1, &err)) << err;
+}
+
+TEST(Trajectory, CorruptAccuracyBlockIsBadInput) {
+  auto run = fake_run("batch32", true);
+  run.accuracy.enabled = true;
+  run.accuracy.sample_shift = 8;
+  run.accuracy.comparisons = 10;
+  run.accuracy.are = 0.01;
+  run.accuracy.recall = 1.0;
+  run.accuracy.precision = 1.0;
+  const auto json = analysis::build_trajectory_json(
+      fake_meta(), std::vector<analysis::TrajectoryRun>{run});
+  std::string err;
+  ASSERT_TRUE(analysis::validate_trajectory_json(json, &err)) << err;
+  ASSERT_NE(json.find("\"accuracy\": {\"enabled\": true"),
+            std::string::npos);
+
+  // A well-formed document whose accuracy member lost a required key must
+  // fail validation (BadInput), not slide through as "extra data".
+  auto missing_key = json;
+  const auto are_pos = missing_key.find("\"are\":");
+  ASSERT_NE(are_pos, std::string::npos);
+  missing_key.replace(are_pos, 6, "\"axe\":");
+  EXPECT_FALSE(analysis::validate_trajectory_json(missing_key, &err));
+  EXPECT_NE(err.find("accuracy"), std::string::npos) << err;
+
+  // Accuracy replaced wholesale by a scalar: still well-formed JSON, still
+  // rejected.
+  auto scalar = json;
+  const auto start = scalar.find("\"accuracy\": {");
+  ASSERT_NE(start, std::string::npos);
+  const auto end = scalar.find("}}", start);  // causes + accuracy close
+  ASSERT_NE(end, std::string::npos);
+  scalar.replace(start, end + 2 - start, "\"accuracy\": 42");
+  EXPECT_FALSE(analysis::validate_trajectory_json(scalar, &err));
+  EXPECT_NE(err.find("accuracy"), std::string::npos) << err;
 }
 
 TEST(Trajectory, EmptyRunMatrixStillValidates) {

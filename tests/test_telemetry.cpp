@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -278,6 +281,80 @@ TEST(Reporter, StopReturnsPromptlyDespiteLongInterval) {
   std::thread racer{[&] { reporter.stop(); }};
   reporter.stop();
   racer.join();
+}
+
+TEST(Reporter, TextfilePublishIsAtomicUnderConcurrentReads) {
+  // Regression for the in-place ios::trunc textfile write: a reader
+  // opening the path mid-write saw a truncated (often empty) file. The
+  // reporter now writes <path>.tmp and std::rename()s it over the target,
+  // so every open() observes a complete snapshot. A reader thread hammers
+  // the path while the reporter ticks at 1 ms; any short read fails the
+  // test. (Pre-fix this catches a torn read within a few hundred opens.)
+  namespace fs = std::filesystem;
+  const auto path =
+      fs::temp_directory_path() / "im_test_reporter_atomic.prom";
+  std::error_code ec;
+  fs::remove(path, ec);
+  fs::remove(path.string() + ".tmp", ec);
+
+  Registry registry;
+  auto c = registry.counter("test_atomic_ticks_total");
+  // A fat payload widens the write window: many series, long help text.
+  std::vector<Gauge> gauges;
+  for (int i = 0; i < 64; ++i) {
+    gauges.push_back(registry.gauge(
+        "test_atomic_padding_" + std::to_string(i),
+        "padding series so the snapshot spans several kilobytes",
+        {{"idx", std::to_string(i)}}));
+    gauges.back().set(i);
+  }
+
+  ReporterConfig config;
+  config.interval = std::chrono::milliseconds{1};
+  config.path = path.string();
+  SnapshotReporter reporter{registry, config};
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::size_t full_size = 0;
+  {
+    // One synchronous write tells us the complete-snapshot size.
+    reporter.write_now();
+    std::ifstream in{path, std::ios::binary | std::ios::ate};
+    if (in) full_size = static_cast<std::size_t>(in.tellg());
+  }
+  std::thread reader{[&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      std::ifstream in{path, std::ios::binary | std::ios::ate};
+      if (!in) continue;  // rename window on some filesystems; not a tear
+      const auto size = static_cast<std::size_t>(in.tellg());
+      ++reads;
+      // Counter value growth only ever lengthens the file; any read
+      // shorter than the first complete snapshot is a torn write.
+      if (size < full_size) ++torn;
+    }
+  }};
+
+  reporter.start();
+  for (int i = 0; i < 200; ++i) {
+    c.inc();
+    std::this_thread::sleep_for(std::chrono::microseconds{200});
+  }
+  reporter.stop();
+  done = true;
+  reader.join();
+
+  if constexpr (kEnabled) {
+    EXPECT_GE(reporter.snapshots_written(), 2u);
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(torn.load(), 0u)
+        << "reader observed a truncated snapshot (non-atomic publish)";
+    EXPECT_FALSE(fs::exists(path.string() + ".tmp"))
+        << "tmp file must not survive a successful publish";
+  }
+  fs::remove(path, ec);
+  fs::remove(path.string() + ".tmp", ec);
 }
 
 TEST(Integration, EngineMirrorsMatchAuthoritativeCounts) {

@@ -99,6 +99,11 @@ analysis::TrajectoryRun run_cell(const Options& opt,
 
   auto config = engine_config(opt);
   if (batch != 0) config.perf = &profiler;
+  // Audit rides every cell (when compiled in): the accuracy block must
+  // describe the same run the Mpps number came from, and a uniform <3%
+  // cost keeps the cells mutually comparable. The 1/256 default slice
+  // holds the shadow map to a few hundred flows even at 2^23.
+  config.enable_audit = audit::kEnabled;
   core::InstaMeasure engine{config};
 
   const std::size_t mask = pool.size() - 1;
@@ -161,6 +166,32 @@ analysis::TrajectoryRun run_cell(const Options& opt,
       if (totals.samples == 0) continue;
       run.stages.push_back({to_string(stage), totals});
     }
+  }
+
+  if (const auto* auditor = engine.auditor()) {
+    // Make the streaming gauges end-of-run exact before snapshotting, so
+    // committed BENCH documents carry the same numbers an offline
+    // analysis::metrics pass would.
+    engine.audit_final_sweep();
+    const auto s = auditor->summary();
+    run.accuracy.enabled = true;
+    run.accuracy.sample_shift = auditor->config().sample_shift;
+    run.accuracy.sampled_flows = s.sampled_flows;
+    run.accuracy.sampled_packets = s.sampled_packets;
+    run.accuracy.comparisons = s.comparisons;
+    run.accuracy.are = s.are;
+    run.accuracy.mean_rel_bias = s.mean_rel_bias;
+    run.accuracy.recall = s.recall;
+    run.accuracy.precision = s.precision;
+    run.accuracy.true_hh = s.true_hh;
+    run.accuracy.undercount = s.undercount;
+    run.accuracy.overcount = s.overcount;
+    run.accuracy.cause_sketch_residual =
+        s.causes[static_cast<unsigned>(audit::Cause::kSketchResidual)];
+    run.accuracy.cause_wsaf_eviction =
+        s.causes[static_cast<unsigned>(audit::Cause::kWsafEviction)];
+    run.accuracy.cause_shed_compensation =
+        s.causes[static_cast<unsigned>(audit::Cause::kShedCompensation)];
   }
   return run;
 }
