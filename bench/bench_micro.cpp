@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <thread>
 #include <vector>
@@ -84,16 +85,25 @@ void BM_FlowRegulatorOffer(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowRegulatorOffer);
 
+core::WsafLayout bench_layout(const benchmark::State& state) {
+  return state.range(0) == 0 ? core::WsafLayout::kScalarProbe
+                             : core::WsafLayout::kBucketed;
+}
+
+// Hot-update path: 256 recurring flows in a 2^20 table — slot lines stay
+// cached, so this row isolates the per-accumulate instruction cost of each
+// layout (tag compare + mask walk vs. sequential slot probing).
 void BM_WsafAccumulate(benchmark::State& state) {
   core::WsafConfig config;
   config.log2_entries = 20;
+  config.layout = bench_layout(state);
   core::WsafTable table{config};
   util::SplitMix64 seeds{3};
   std::array<netio::FlowKey, 256> keys;
   std::array<std::uint64_t, 256> hashes;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     keys[i] = key_from(seeds());
-    hashes[i] = keys[i].hash();
+    hashes[i] = keys[i].hash(config.seed);
   }
   std::size_t i = 0;
   std::uint64_t now = 0;
@@ -102,8 +112,86 @@ void BM_WsafAccumulate(benchmark::State& state) {
     benchmark::DoNotOptimize(
         table.accumulate(keys[j], hashes[j], 100.0, 50'000.0, ++now));
   }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(to_string(config.layout));
 }
-BENCHMARK(BM_WsafAccumulate);
+BENCHMARK(BM_WsafAccumulate)->Arg(0)->Arg(1);
+
+// DRAM-scale lookup/insert workload: a ~512 MB table (2^23 slots) filled to
+// ~90% with distinct flows, then probed for those same flows in insertion
+// order. Slot placement is hash-random, so every probe step in the scalar
+// layout is a fresh cache-line miss, while the bucketed layout resolves the
+// candidate set from one 64-byte metadata line — the ≥1.2× ratio
+// scripts/check_wsaf_lookup.sh gates on. Built once per layout and reused
+// across benchmark repetitions (the fill alone touches ~7.5M slots).
+struct WsafLookupWorkload {
+  std::unique_ptr<core::WsafTable> table;
+  std::vector<netio::FlowKey> keys;
+  std::vector<std::uint64_t> hashes;
+  core::WsafLayout layout{};
+};
+
+WsafLookupWorkload& wsaf_lookup_workload(core::WsafLayout layout) {
+  static WsafLookupWorkload w;
+  if (w.table == nullptr || w.layout != layout) {
+    w.table.reset();  // release the previous layout's 512 MB first
+    core::WsafConfig config;
+    config.log2_entries = 23;
+    config.layout = layout;
+    w.layout = layout;
+    w.table = std::make_unique<core::WsafTable>(config);
+    const std::size_t n = (std::size_t{1} << 23) / 10 * 9;
+    w.keys.resize(n);
+    w.hashes.resize(n);
+    util::SplitMix64 seeds{7};
+    std::uint64_t now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w.keys[i] = key_from(seeds());
+      w.hashes[i] = w.keys[i].hash(config.seed);
+      w.table->accumulate(w.keys[i], w.hashes[i], 1.0, 500.0, ++now);
+    }
+  }
+  return w;
+}
+
+void BM_WsafLookup(benchmark::State& state) {
+  auto& w = wsaf_lookup_workload(bench_layout(state));
+  const std::size_t n = w.keys.size();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (++i == n) i = 0;
+    benchmark::DoNotOptimize(w.table->lookup(w.keys[i], w.hashes[i]));
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(to_string(w.table->config().layout));
+}
+BENCHMARK(BM_WsafLookup)->Arg(0)->Arg(1);
+
+// Insert-heavy churn on the same DRAM-scale table: distinct flows streaming
+// into a 2^23-slot table, hitting the free-slot scan (bitmap in kBucketed,
+// slot walk in kScalarProbe) rather than the update path.
+void BM_WsafInsert(benchmark::State& state) {
+  core::WsafConfig config;
+  config.log2_entries = 23;
+  config.layout = bench_layout(state);
+  core::WsafTable table{config};
+  util::SplitMix64 seeds{9};
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    const auto key = key_from(seeds());
+    benchmark::DoNotOptimize(
+        table.accumulate(key, key.hash(config.seed), 1.0, 500.0, ++now));
+  }
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(to_string(config.layout));
+}
+BENCHMARK(BM_WsafInsert)->Arg(0)->Arg(1);
 
 // -------------------------------------------------------- engine fast path
 //

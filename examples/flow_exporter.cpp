@@ -7,7 +7,9 @@
 // Usage:
 //   ./examples/flow_exporter capture.pcap --out=flows.ipfix
 //   ./examples/flow_exporter --demo      (synthesizes a pcapng capture)
+//   ./examples/flow_exporter --restore=wsaf.snapshot   (validate + summarize)
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 
@@ -43,6 +45,26 @@ std::string make_demo_pcapng() {
 
 int main(int argc, char** argv) {
   const util::CliArgs args{argc, argv};
+
+  // Restore-only mode: load (and fully validate) a WSAF snapshot, print a
+  // one-line summary, exit. Corrupt or unknown-format snapshots must yield
+  // a one-line diagnostic and a nonzero exit — never a crash. The corrupt
+  // files under tests/corpus/ run through this path as BadInput.* tests.
+  if (const auto restore = args.get("restore", ""); !restore.empty()) {
+    try {
+      const auto table = core::WsafTable::load(restore);
+      std::printf(
+          "restored %s: %zu flows, 2^%u slots, probe %u, layout %s "
+          "(eviction policy v%u)\n",
+          restore.c_str(), table.occupancy(), table.config().log2_entries,
+          table.config().probe_limit, core::to_string(table.config().layout),
+          table.policy_version());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "flow_exporter: %s\n", e.what());
+      return 1;
+    }
+  }
 
   std::string input;
   if (args.get_bool("demo", false) || args.positional().empty()) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Release-build benchmark gate for the bucketed WSAF layout: builds
+# bench_micro, runs BM_WsafLookup in both layouts over the shared ~512 MB /
+# 2^23-slot DRAM-resident workload (~90% load), and fails if the bucketed
+# layout's lookup Mpps falls below TOLERANCE x the scalar-probe layout.
+# The floor (default 1.2) is the layout's reason to exist: resolving the
+# candidate set from one 64-byte tag line instead of walking slot lines
+# must keep lookups >=1.2x scalar, or the bucketed path has regressed.
+#
+# Usage: scripts/check_wsaf_lookup.sh
+#   BUILD=build-bench TOLERANCE=1.2 MIN_TIME=1.0 to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source scripts/lib_bench.sh
+
+BUILD=${BUILD:-build-bench}
+TOLERANCE=${TOLERANCE:-1.2}
+MIN_TIME=${MIN_TIME:-1.0}
+
+bench_build "$BUILD" bench_micro
+
+JSON=$(mktemp)
+trap 'rm -f "$JSON"' EXIT
+bench_micro_json "$BUILD" '^BM_WsafLookup/[01]$' "$MIN_TIME" "$JSON"
+
+read -r SCALAR BUCKETED <<<"$(
+  bench_mpps "$JSON" BM_WsafLookup/0 BM_WsafLookup/1 | tr '\n' ' ')"
+bench_ratio_gate "lookup scalar-probe" "$SCALAR" "lookup bucketed" \
+  "$BUCKETED" "$TOLERANCE" \
+  "bucketed lookup lost its cache-line advantage over scalar probing" \
+  "bucketed lookup holds the >=${TOLERANCE}x floor"

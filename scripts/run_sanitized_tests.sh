@@ -12,18 +12,23 @@
 # kind of code where a stray data race or UB hides until a sanitizer
 # shakes it out.
 #
-# Two phases, because TSan cannot be combined with ASan:
-#   1. address,undefined over the full concurrency filter;
+# Three phases, because TSan cannot be combined with ASan:
+#   1. address,undefined over the full concurrency filter (now including
+#      the WSAF layout/bucket/snapshot differential suites, whose SIMD
+#      tag-compare and byte-patching code is exactly what UBSan/ASan are
+#      for);
 #   2. thread over the MultiCore + SPSC suites, repeated 3x so the
 #      determinism test (same trace => bit-identical per-shard WSAF) gets
-#      multiple thread schedules to betray a race under.
+#      multiple thread schedules to betray a race under;
+#   3. the same thread phase with IM_WSAF_LAYOUT=bucketed, so the shared
+#      worker/WSAF paths race-check against the bucketed layout too.
 # Set SANITIZE to run a single custom phase instead (REPEAT=n to repeat).
 #
 # Usage: scripts/run_sanitized_tests.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline|SnapshotChannel|QueryEngine|QueryPlane|AuditSampling|AuditDifferential|AuditConcurrency|AuditSummaryMerge"}
+FILTER=${1:-"Counter|Gauge|HistogramMetric|Export|Reporter|Integration|SpscQueue|MultiCore|FlightRecorder|FaultPoint|OverloadChaos|OverloadPaced|Watchdog|ReliableLink|ReliablePipeline|SnapshotChannel|QueryEngine|QueryPlane|AuditSampling|AuditDifferential|AuditConcurrency|AuditSummaryMerge|WsafBucket|WsafLayout|WsafSnapshot|WsafBucketed"}
 TSAN_FILTER=${TSAN_FILTER:-"MultiCore|SpscQueue|OverloadChaos|OverloadPaced|Watchdog|QueryPlane|AuditConcurrency"}
 
 run_phase() {
@@ -32,7 +37,8 @@ run_phase() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$build" -j --target \
     test_telemetry test_spsc test_multicore test_flight_recorder \
-    test_resilience test_query_engine test_audit >/dev/null
+    test_resilience test_query_engine test_audit test_wsaf_bucket \
+    test_wsaf_snapshot test_wsaf_layout_equivalence flow_exporter >/dev/null
   ctest --test-dir "$build" -R "$filter" --output-on-failure -j "$(nproc)" \
     --repeat "until-fail:$repeat"
   echo "sanitized ($sanitize) test run passed"
@@ -49,3 +55,5 @@ fi
 
 run_phase address,undefined "${BUILD:-build-sanitize}" "$FILTER" 1
 run_phase thread "${BUILD_TSAN:-build-tsan}" "$TSAN_FILTER" 3
+IM_WSAF_LAYOUT=bucketed run_phase thread "${BUILD_TSAN:-build-tsan}" \
+  "$TSAN_FILTER" 3

@@ -1,0 +1,99 @@
+// Bucket metadata for the cache-line-bucketed WSAF layout (kBucketed).
+//
+// The scalar layout pays up to one independent DRAM miss per probe step:
+// the triangular walk visits scattered slots and each visit dereferences a
+// full WsafEntry line just to compare keys. The bucketed layout instead
+// groups 16 slots per bucket and keeps, per bucket, one 64-byte-aligned
+// metadata block of 1-byte fingerprint tags plus an occupancy bitmap. A
+// lookup loads that single metadata line, compares all 16 tags in one shot
+// (SSE2 where available, portable scalar otherwise), and dereferences only
+// the slots whose tag matches — in the common case one metadata line plus
+// one entry line, independent of chain length. Overflow probes move
+// bucket-by-bucket (triangular sequence over buckets), never slot-by-slot.
+//
+// The tag is the low byte of the 32-bit flow-ID half of the hash
+// (tag_of(h) == uint8_t(h >> 32) == uint8_t(flow_id)). That choice makes
+// the metadata fully derivable from the entries themselves: snapshots never
+// serialize it, load() rebuilds it, and the fuzz suite can cross-check
+// tag == hash-derived byte for every occupied slot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace instameasure::core {
+
+struct alignas(64) WsafBucketMeta {
+  /// Slots per bucket: 16 one-byte tags + the bitmap fit one cache line,
+  /// and one SSE2 register compares every tag in a single instruction.
+  static constexpr std::size_t kSlots = 16;
+
+  std::uint8_t tags[kSlots] = {};
+  /// Bit i set <=> slot i of this bucket holds an occupied WsafEntry. The
+  /// bitmap mirrors WsafEntry::occupied exactly (a fuzzed invariant); it
+  /// exists so candidate masks and free-slot scans never touch entry lines.
+  std::uint16_t occupied_bits = 0;
+
+  /// Fingerprint for a flow hash: the low byte of the 32-bit flow-ID half,
+  /// so it can be rebuilt from a stored flow_id when loading snapshots.
+  [[nodiscard]] static constexpr std::uint8_t tag_of(
+      std::uint64_t flow_hash) noexcept {
+    return static_cast<std::uint8_t>(flow_hash >> 32);
+  }
+
+  /// Candidate mask, portable fallback: bit i set <=> slot i is occupied
+  /// and its tag equals `tag`. Kept callable (not just a #else branch) so
+  /// tests can assert SIMD and scalar agree on identical metadata.
+  [[nodiscard]] std::uint32_t match_mask_scalar(
+      std::uint8_t tag) const noexcept {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      mask |= static_cast<std::uint32_t>(tags[i] == tag) << i;
+    }
+    return mask & occupied_bits;
+  }
+
+#if defined(__SSE2__)
+  /// Candidate mask via one 16-lane byte compare. The struct is 64-byte
+  /// aligned with tags at offset 0, so the aligned load is safe.
+  [[nodiscard]] std::uint32_t match_mask_simd(std::uint8_t tag) const noexcept {
+    const __m128i needle = _mm_set1_epi8(static_cast<char>(tag));
+    const __m128i lane =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tags));
+    const auto eq = static_cast<std::uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(lane, needle)));
+    return eq & occupied_bits;
+  }
+#endif
+
+  [[nodiscard]] std::uint32_t match_mask(std::uint8_t tag) const noexcept {
+#if defined(__SSE2__)
+    return match_mask_simd(tag);
+#else
+    return match_mask_scalar(tag);
+#endif
+  }
+
+  /// Bitmap of empty slots in this bucket.
+  [[nodiscard]] std::uint32_t free_mask() const noexcept {
+    return static_cast<std::uint32_t>(~occupied_bits) & 0xffffu;
+  }
+
+  void set(std::size_t slot, std::uint8_t tag) noexcept {
+    tags[slot] = tag;
+    occupied_bits = static_cast<std::uint16_t>(occupied_bits | (1u << slot));
+  }
+  void clear(std::size_t slot) noexcept {
+    tags[slot] = 0;
+    occupied_bits = static_cast<std::uint16_t>(occupied_bits & ~(1u << slot));
+  }
+};
+
+static_assert(sizeof(WsafBucketMeta) == 64,
+              "bucket metadata must occupy exactly one cache line");
+
+}  // namespace instameasure::core

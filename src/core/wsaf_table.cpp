@@ -1,6 +1,7 @@
 #include "core/wsaf_table.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/wsaf_view.h"
 #include <cstring>
@@ -33,6 +34,22 @@ WsafTable::WsafTable(const WsafConfig& config)
       slots_(config.entries()),
       trace_(config.trace),
       trace_track_(config.trace_track) {
+  if (config.layout == WsafLayout::kBucketed) {
+    if (config.log2_entries < 4) {
+      throw std::invalid_argument(
+          "WsafTable: kBucketed needs log2_entries >= 4 "
+          "(one 16-slot bucket per cache line)");
+    }
+    const std::size_t bucket_count = config.entries() / WsafBucketMeta::kSlots;
+    buckets_.assign(bucket_count, WsafBucketMeta{});
+    bucket_mask_ = bucket_count - 1;
+    // probe_limit is a slot budget in both layouts; here it rounds up to
+    // whole buckets so a scalar config keeps (at least) its reach.
+    bucket_window_ = static_cast<unsigned>(std::min<std::uint64_t>(
+        (config.probe_limit + WsafBucketMeta::kSlots - 1) /
+            WsafBucketMeta::kSlots,
+        bucket_count));
+  }
   if (config.registry != nullptr) {
     auto& reg = *config.registry;
     tel_accumulates_ = reg.counter("im_wsaf_accumulates_total",
@@ -56,6 +73,10 @@ WsafTable::WsafTable(const WsafConfig& config)
     tel_rejected_ = reg.counter("im_wsaf_rejected_total",
                                 "Insertions dropped (eviction disabled)",
                                 config.labels);
+    tel_tag_collisions_ = reg.counter(
+        "im_wsaf_tag_collisions_total",
+        "Bucketed layout: tag matched but key did not (filter false hit)",
+        config.labels);
     tel_occupancy_ = reg.gauge("im_wsaf_occupancy",
                                "Live WSAF entries", config.labels);
     tel_pressure_level_ = reg.gauge(
@@ -65,7 +86,9 @@ WsafTable::WsafTable(const WsafConfig& config)
         "im_wsaf_eviction_pressure",
         "Evict/reject fraction of the last pressure window", config.labels);
     tel_probe_length_ = reg.histogram(
-        "im_wsaf_probe_length", "Slots probed per accumulate() call",
+        "im_wsaf_probe_length",
+        "Probe steps per accumulate(): slots in the scalar-probe layout, "
+        "buckets in the bucketed layout",
         config.labels);
   }
 }
@@ -84,6 +107,9 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
     // no live flow probes stay counted as occupied forever and pressure()
     // overstates load on idle tables.
     (void)sweep_expired(now_ns, kSweepSlotsPerAccumulate);
+  }
+  if (config_.layout == WsafLayout::kBucketed) {
+    return accumulate_bucketed(key, flow_hash, est_packets, est_bytes, now_ns);
   }
   const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
 
@@ -196,9 +222,156 @@ WsafTable::Accumulated WsafTable::accumulate(const netio::FlowKey& key,
   return {e.packets, e.bytes, e.first_seen_ns};
 }
 
+WsafTable::Accumulated WsafTable::accumulate_bucketed(
+    const netio::FlowKey& key, std::uint64_t flow_hash, double est_packets,
+    double est_bytes, std::uint64_t now_ns) {
+  const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
+  const auto tag = WsafBucketMeta::tag_of(flow_hash);
+
+  // Fast path: one metadata line per bucket; entry lines are dereferenced
+  // only for tag matches, and free-slot discovery reads the bitmap alone.
+  std::size_t first_free = slots_.size();  // sentinel: none seen
+  bool first_free_expired = false;
+  unsigned first_free_bucket = 0;
+  for (unsigned j = 0; j < bucket_window_; ++j) {
+    ++stats_.probes;  // unit: buckets in this layout
+    const auto b = bucket_of(flow_hash, j);
+    WsafBucketMeta& meta = buckets_[b];
+    for (auto mask = meta.match_mask(tag); mask != 0; mask &= mask - 1) {
+      const auto s =
+          slot_base(b) + static_cast<std::size_t>(std::countr_zero(mask));
+      WsafEntry& e = slots_[s];
+      if (expired(e, now_ns)) {
+        // Inline GC, same rule as the scalar walk: only NOTE the reusable
+        // slot; the reclaim is counted if the insert below overwrites it.
+        if (first_free == slots_.size()) {
+          first_free = s;
+          first_free_expired = true;
+          first_free_bucket = j;
+        }
+        continue;
+      }
+      if (e.flow_id == flow_id && e.key == key) {
+        e.packets += est_packets;
+        e.bytes += est_bytes;
+        e.last_update_ns = now_ns;
+        e.referenced = true;
+        ++stats_.updates;
+        tel_updates_.inc();
+        tel_probe_length_.record(j + 1);
+        trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafUpdate,
+                   flow_hash, e.packets, j + 1);
+        return {e.packets, e.bytes, e.first_seen_ns};
+      }
+      // Occupied, live, tag agreed but key did not: the 1-byte fingerprint's
+      // false hit — the only extra entry line this layout ever touches.
+      ++stats_.tag_collisions;
+      tel_tag_collisions_.inc();
+    }
+    if (first_free == slots_.size()) {
+      if (const auto free_bits = meta.free_mask(); free_bits != 0) {
+        first_free = slot_base(b) +
+                     static_cast<std::size_t>(std::countr_zero(free_bits));
+      }
+    }
+  }
+  tel_probe_length_.record(bucket_window_);
+
+  if (first_free == slots_.size()) {
+    // Every bitmap in the window is full, but the tag filter hides expired
+    // entries stored under other tags. Before displacing (or rejecting) a
+    // live flow, pay the full scan the scalar walk does implicitly: an
+    // expired slot anywhere in the window is still a usable slot.
+    for (unsigned j = 0; j < bucket_window_ && first_free == slots_.size();
+         ++j) {
+      const auto b = bucket_of(flow_hash, j);
+      for (std::size_t i = 0; i < WsafBucketMeta::kSlots; ++i) {
+        if (expired(slots_[slot_base(b) + i], now_ns)) {
+          first_free = slot_base(b) + i;
+          first_free_expired = true;
+          first_free_bucket = j;
+          break;
+        }
+      }
+    }
+  }
+
+  if (first_free != slots_.size()) {
+    WsafEntry& e = slots_[first_free];
+    if (first_free_expired) {
+      ++stats_.gc_reclaims;
+      tel_gc_reclaims_.inc();
+      trace_wsaf(trace_, trace_track_,
+                 telemetry::TraceEventKind::kWsafGcReclaim, flow_hash,
+                 e.packets, first_free_bucket);
+    } else {
+      ++occupied_;
+    }
+    e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
+                  /*occupied=*/true, /*referenced=*/false};
+    buckets_[first_free / WsafBucketMeta::kSlots].set(
+        first_free % WsafBucketMeta::kSlots, tag);
+    ++stats_.inserts;
+    tel_inserts_.inc();
+    tel_occupancy_.set(static_cast<double>(occupied_));
+    trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafInsert,
+               flow_hash, e.packets, 0);
+    return {e.packets, e.bytes, e.first_seen_ns};
+  }
+
+  // Window full of live entries: replace per the configured policy. Same
+  // intent as the scalar clock pass, but the candidate set is the
+  // bucket-granular window — eviction-policy v2.
+  ++window_stress_;
+  if (config_.eviction == EvictionPolicy::kNone) {
+    ++stats_.rejected;
+    tel_rejected_.inc();
+    trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafReject,
+               flow_hash, est_packets, 0);
+    return {est_packets, est_bytes, now_ns};
+  }
+
+  std::size_t victim = slots_.size();
+  std::size_t stalest = slot_base(bucket_of(flow_hash, 0));
+  for (unsigned j = 0; j < bucket_window_; ++j) {
+    const auto b = bucket_of(flow_hash, j);
+    for (std::size_t i = 0; i < WsafBucketMeta::kSlots; ++i) {
+      const auto s = slot_base(b) + i;
+      WsafEntry& e = slots_[s];
+      if (config_.eviction == EvictionPolicy::kSecondChance) {
+        if (!e.referenced &&
+            (victim == slots_.size() || e.packets < slots_[victim].packets)) {
+          victim = s;
+        }
+        e.referenced = false;  // consume the second chance
+      }
+      if (e.last_update_ns < slots_[stalest].last_update_ns) stalest = s;
+    }
+  }
+  if (victim == slots_.size()) victim = stalest;
+
+  WsafEntry& e = slots_[victim];
+  trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafEvict,
+             flow_hash, e.packets, 0);
+  e = WsafEntry{key, flow_id, est_packets, est_bytes, now_ns, now_ns,
+                /*occupied=*/true, /*referenced=*/false};
+  buckets_[victim / WsafBucketMeta::kSlots].set(
+      victim % WsafBucketMeta::kSlots, tag);
+  ++stats_.inserts;
+  ++stats_.evictions;
+  tel_inserts_.inc();
+  tel_evictions_.inc();
+  trace_wsaf(trace_, trace_track_, telemetry::TraceEventKind::kWsafInsert,
+             flow_hash, e.packets, 1);
+  return {e.packets, e.bytes, e.first_seen_ns};
+}
+
 std::optional<WsafEntry> WsafTable::lookup(const netio::FlowKey& key,
                                            std::uint64_t flow_hash,
                                            std::uint64_t now_ns) const noexcept {
+  if (config_.layout == WsafLayout::kBucketed) {
+    return lookup_bucketed(key, flow_hash, now_ns);
+  }
   const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
   for (unsigned i = 0; i < config_.probe_limit; ++i) {
     const auto s = slot_of(flow_hash, i);
@@ -209,6 +382,30 @@ std::optional<WsafEntry> WsafTable::lookup(const netio::FlowKey& key,
       // dead. Invisible here, consistently with live_entries()/fill_view().
       if (expired(e, now_ns)) return std::nullopt;
       return e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<WsafEntry> WsafTable::lookup_bucketed(
+    const netio::FlowKey& key, std::uint64_t flow_hash,
+    std::uint64_t now_ns) const noexcept {
+  const auto flow_id = static_cast<std::uint32_t>(flow_hash >> 32);
+  const auto tag = WsafBucketMeta::tag_of(flow_hash);
+  for (unsigned j = 0; j < bucket_window_; ++j) {
+    const auto b = bucket_of(flow_hash, j);
+    // One metadata line names the candidates; slots whose tag mismatches
+    // are never dereferenced (a fuzzed property of match_mask).
+    for (auto mask = buckets_[b].match_mask(tag); mask != 0; mask &= mask - 1) {
+      const auto s =
+          slot_base(b) + static_cast<std::size_t>(std::countr_zero(mask));
+      const WsafEntry& e = slots_[s];
+      if (e.flow_id == flow_id && e.key == key) {
+        // Same expiry rule as the scalar path: a record accumulate() would
+        // reclaim, not resume, is invisible to readers.
+        if (expired(e, now_ns)) return std::nullopt;
+        return e;
+      }
     }
   }
   return std::nullopt;
@@ -245,10 +442,14 @@ std::size_t WsafTable::sweep_expired(std::uint64_t now_ns,
       max_slots == 0 ? slots_.size() : std::min(max_slots, slots_.size());
   std::size_t reclaimed = 0;
   for (std::size_t visited = 0; visited < budget; ++visited) {
-    WsafEntry& e = slots_[sweep_cursor_];
+    const auto s = sweep_cursor_;
+    WsafEntry& e = slots_[s];
     sweep_cursor_ = (sweep_cursor_ + 1) & mask_;
     if (e.occupied && expired(e, now_ns)) {
       e = WsafEntry{};
+      if (config_.layout == WsafLayout::kBucketed) {
+        buckets_[s / WsafBucketMeta::kSlots].clear(s % WsafBucketMeta::kSlots);
+      }
       --occupied_;
       ++reclaimed;
     }
@@ -265,12 +466,31 @@ namespace {
 
 // Snapshot format: header (magic, version, config) then one fixed-width
 // record per occupied slot. Little-endian host assumed (x86/ARM targets).
-constexpr char kMagic[8] = {'I', 'M', 'W', 'S', 'A', 'F', '0', '1'};
+//
+// v2 ("IMWSAF02") adds the layout to the header and validates each record
+// against it on load; bucket metadata is never serialized — tags are
+// derivable from each record's key (tag == low byte of flow_id), so load()
+// rebuilds them. v1 ("IMWSAF01") snapshots predate the layout field and
+// are still accepted, always as kScalarProbe, with v1's lenient record
+// checks (save() only ever writes v2).
+constexpr char kMagicV1[8] = {'I', 'M', 'W', 'S', 'A', 'F', '0', '1'};
+constexpr char kMagicV2[8] = {'I', 'M', 'W', 'S', 'A', 'F', '0', '2'};
 
-struct SnapshotHeader {
+struct SnapshotHeaderV1 {  // 40 bytes; no layout field (always scalar-probe)
   char magic[8];
   std::uint32_t log2_entries;
   std::uint32_t probe_limit;
+  std::uint64_t idle_timeout_ns;
+  std::uint64_t seed;
+  std::uint64_t occupied;
+};
+
+struct SnapshotHeaderV2 {  // 48 bytes
+  char magic[8];
+  std::uint32_t log2_entries;
+  std::uint32_t probe_limit;
+  std::uint32_t layout;    // WsafLayout as u32
+  std::uint32_t reserved;  // zero; room for a future bucket geometry
   std::uint64_t idle_timeout_ns;
   std::uint64_t seed;
   std::uint64_t occupied;
@@ -295,10 +515,11 @@ void WsafTable::save(const std::string& path) const {
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
   if (!out) throw std::runtime_error("WsafTable::save: cannot open " + path);
 
-  SnapshotHeader header{};
-  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  SnapshotHeaderV2 header{};
+  std::memcpy(header.magic, kMagicV2, sizeof kMagicV2);
   header.log2_entries = config_.log2_entries;
   header.probe_limit = config_.probe_limit;
+  header.layout = static_cast<std::uint32_t>(config_.layout);
   header.idle_timeout_ns = config_.idle_timeout_ns;
   header.seed = config_.seed;
   header.occupied = occupied_;
@@ -329,32 +550,70 @@ WsafTable WsafTable::load(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error("WsafTable::load: cannot open " + path);
 
-  SnapshotHeader header{};
-  in.read(reinterpret_cast<char*>(&header), sizeof header);
-  if (!in || std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  if (!in) throw std::runtime_error("WsafTable::load: bad snapshot header");
+
+  WsafConfig config;
+  std::uint64_t claimed_occupied = 0;
+  // v2 records carry enough redundancy (flow_id vs key, slot vs probe
+  // window) to cross-check; v1 predates the checks and loads leniently.
+  bool strict = false;
+  if (std::memcmp(magic, kMagicV2, sizeof magic) == 0) {
+    SnapshotHeaderV2 header{};
+    std::memcpy(header.magic, magic, sizeof magic);
+    in.read(reinterpret_cast<char*>(&header) + sizeof magic,
+            sizeof header - sizeof magic);
+    if (!in) throw std::runtime_error("WsafTable::load: truncated v2 header");
+    if (header.layout >
+        static_cast<std::uint32_t>(WsafLayout::kBucketed)) {
+      throw std::runtime_error("WsafTable::load: unknown layout in header");
+    }
+    config.layout = static_cast<WsafLayout>(header.layout);
+    if (config.layout == WsafLayout::kBucketed && header.log2_entries < 4) {
+      throw std::runtime_error(
+          "WsafTable::load: bad bucket count (bucketed layout needs "
+          "log2_entries >= 4)");
+    }
+    config.log2_entries = header.log2_entries;
+    config.probe_limit = header.probe_limit;
+    config.idle_timeout_ns = header.idle_timeout_ns;
+    config.seed = header.seed;
+    claimed_occupied = header.occupied;
+    strict = true;
+  } else if (std::memcmp(magic, kMagicV1, sizeof magic) == 0) {
+    SnapshotHeaderV1 header{};
+    std::memcpy(header.magic, magic, sizeof magic);
+    in.read(reinterpret_cast<char*>(&header) + sizeof magic,
+            sizeof header - sizeof magic);
+    if (!in) throw std::runtime_error("WsafTable::load: truncated v1 header");
+    // Legacy snapshots predate WsafLayout and are always scalar-probe.
+    config.layout = WsafLayout::kScalarProbe;
+    config.log2_entries = header.log2_entries;
+    config.probe_limit = header.probe_limit;
+    config.idle_timeout_ns = header.idle_timeout_ns;
+    config.seed = header.seed;
+    claimed_occupied = header.occupied;
+  } else {
     throw std::runtime_error("WsafTable::load: bad snapshot header");
   }
-  if (header.log2_entries > 40) {
+
+  if (config.log2_entries > 40) {
     throw std::runtime_error("WsafTable::load: implausible table size");
   }
-  if (header.probe_limit == 0) {
+  if (config.probe_limit == 0) {
     // A zero probe window makes every lookup/accumulate a no-op; a table
     // restored from such a header would silently drop all traffic.
     throw std::runtime_error("WsafTable::load: probe_limit must be > 0");
   }
-  if (header.occupied > (std::uint64_t{1} << header.log2_entries)) {
+  if (claimed_occupied > (std::uint64_t{1} << config.log2_entries)) {
     throw std::runtime_error(
         "WsafTable::load: occupied count exceeds table capacity");
   }
 
-  WsafConfig config;
-  config.log2_entries = header.log2_entries;
-  config.probe_limit = header.probe_limit;
-  config.idle_timeout_ns = header.idle_timeout_ns;
-  config.seed = header.seed;
   WsafTable table{config};
 
-  for (std::uint64_t i = 0; i < header.occupied; ++i) {
+  for (std::uint64_t i = 0; i < claimed_occupied; ++i) {
     SnapshotRecord rec{};
     in.read(reinterpret_cast<char*>(&rec), sizeof rec);
     if (!in) throw std::runtime_error("WsafTable::load: truncated snapshot");
@@ -369,6 +628,38 @@ WsafTable WsafTable::load(const std::string& path) {
     }
     e.key = netio::FlowKey{rec.src_ip, rec.dst_ip, rec.src_port, rec.dst_port,
                            rec.proto};
+    if (strict || config.layout == WsafLayout::kBucketed) {
+      const auto rebuilt = e.key.hash(config.seed);
+      if (strict &&
+          static_cast<std::uint32_t>(rebuilt >> 32) != rec.flow_id) {
+        // Either the key or the flow_id bytes were corrupted; in the
+        // bucketed layout a wrong flow_id also means a wrong fingerprint
+        // tag, so the restored entry would be unfindable.
+        throw std::runtime_error(
+            "WsafTable::load: record flow_id does not match its key");
+      }
+      if (strict) {
+        bool reachable = false;
+        if (config.layout == WsafLayout::kBucketed) {
+          const auto bucket = rec.slot / WsafBucketMeta::kSlots;
+          for (unsigned j = 0; j < table.bucket_window_ && !reachable; ++j) {
+            reachable = table.bucket_of(rebuilt, j) == bucket;
+          }
+        } else {
+          for (unsigned p = 0; p < config.probe_limit && !reachable; ++p) {
+            reachable = table.slot_of(rebuilt, p) == rec.slot;
+          }
+        }
+        if (!reachable) {
+          throw std::runtime_error(
+              "WsafTable::load: record slot outside its key's probe window");
+        }
+      }
+      if (config.layout == WsafLayout::kBucketed) {
+        table.buckets_[rec.slot / WsafBucketMeta::kSlots].set(
+            rec.slot % WsafBucketMeta::kSlots, WsafBucketMeta::tag_of(rebuilt));
+      }
+    }
     e.flow_id = rec.flow_id;
     e.packets = rec.packets;
     e.bytes = rec.bytes;
@@ -398,6 +689,7 @@ void WsafTable::roll_pressure_window() noexcept {
 
 void WsafTable::reset() {
   std::fill(slots_.begin(), slots_.end(), WsafEntry{});
+  std::fill(buckets_.begin(), buckets_.end(), WsafBucketMeta{});
   occupied_ = 0;
   stats_ = WsafStats{};
   window_accumulates_ = 0;

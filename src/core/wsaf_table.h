@@ -1,13 +1,33 @@
 // WSAF: the in-DRAM Working Set of Active Flows (paper §III.B, Fig 2b).
 //
-// An open-addressing hash table over m = 2^n slots probed with the
-// triangular quadratic sequence h(k,i) = h(k) + (i + i²)/2 mod m, which
-// visits every slot as i ranges over [0, m) when m is a power of two — the
-// property the paper uses to reach high load factors. Probing is bounded by
-// a probe limit; when the window is full, a second-chance (clock) pass
-// evicts the first non-referenced entry, falling back to the stalest one.
-// Mice flows that leak through the FlowRegulator are thereby recycled out
-// instead of crowding the table.
+// Two interchangeable storage layouts (WsafLayout) share one external
+// contract — stats, pressure(), idle-timeout/latest_ns() semantics, views,
+// snapshots, telemetry:
+//
+// kScalarProbe (default, the paper's layout): an open-addressing hash table
+// over m = 2^n slots probed with the triangular quadratic sequence
+// h(k,i) = h(k) + (i + i²)/2 mod m, which visits every slot as i ranges
+// over [0, m) when m is a power of two — the property the paper uses to
+// reach high load factors. Probing is bounded by a probe limit; when the
+// window is full, a second-chance (clock) pass evicts the first
+// non-referenced entry, falling back to the stalest one. Mice flows that
+// leak through the FlowRegulator are thereby recycled out instead of
+// crowding the table.
+//
+// kBucketed (cache-line-bucketed, fingerprint-tagged): slots are grouped 16
+// per bucket with one 64-byte-aligned metadata line of 1-byte tags per
+// bucket (core/wsaf_bucket.h). A lookup loads one metadata line, compares
+// all 16 tags in one SSE2 shot, and dereferences only tag-matching slots —
+// ~1 entry-line miss per lookup instead of one per probe step. Overflow
+// probing is bucket-granular: the triangular sequence walks alternate
+// buckets, and the probe_limit slot budget rounds up to whole buckets
+// (window = ceil(probe_limit / 16) buckets). Eviction keeps the same
+// policy *intent* (expired slots reclaimed first, then second-chance /
+// stalest over the window) but necessarily picks victims from a
+// bucket-granular window, so victim choice is not bit-identical to the
+// scalar walk — the policy is explicitly versioned
+// (wsaf_eviction_policy_version) and the cross-layout differential suite
+// pins what IS identical.
 //
 // The paper's entry is 33 logical bytes: 32-bit flow-ID hash, 32-bit packet
 // counter, 32-bit byte counter, 64-bit timestamp, 104-bit 5-tuple. The
@@ -21,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "core/wsaf_bucket.h"
 #include "netio/flow_key.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -28,6 +49,33 @@
 namespace instameasure::core {
 
 struct WsafView;  // core/wsaf_view.h — breaks the view->topk->table cycle
+
+/// Physical storage layout of the table (see the header comment). Both
+/// layouts implement the same external contract; only probe/eviction
+/// granularity differs, which the eviction-policy version makes explicit.
+enum class WsafLayout {
+  kScalarProbe,  ///< the paper's slot-granular quadratic walk (default)
+  kBucketed,     ///< cache-line buckets + SIMD fingerprint tags
+};
+
+[[nodiscard]] constexpr const char* to_string(WsafLayout l) noexcept {
+  switch (l) {
+    case WsafLayout::kScalarProbe: return "scalar-probe";
+    case WsafLayout::kBucketed: return "bucketed";
+  }
+  return "?";
+}
+
+/// Version of the eviction/second-chance victim-selection behaviour. Two
+/// tables with equal policy versions are replacement-for-replacement
+/// comparable; across versions only the zero-eviction regime is exactly
+/// equivalent (the differential suite's contract).
+///   v1: slot-granular probe window (kScalarProbe).
+///   v2: bucket-granular window, expired-first reclaim scan (kBucketed).
+[[nodiscard]] constexpr unsigned wsaf_eviction_policy_version(
+    WsafLayout l) noexcept {
+  return l == WsafLayout::kBucketed ? 2u : 1u;
+}
 
 /// What to do when a new flow's probe window is full of live entries.
 enum class EvictionPolicy {
@@ -39,6 +87,9 @@ enum class EvictionPolicy {
 struct WsafConfig {
   unsigned log2_entries = 20;  ///< m = 2^20 in all paper experiments
   unsigned probe_limit = 16;
+  /// Storage layout. kBucketed needs log2_entries >= 4 (one full 16-slot
+  /// bucket); the constructor rejects smaller tables.
+  WsafLayout layout = WsafLayout::kScalarProbe;
   EvictionPolicy eviction = EvictionPolicy::kSecondChance;
   /// Entries idle longer than this (ns of trace time) count as empty during
   /// probing — the paper's inline garbage collection. 0 disables.
@@ -94,8 +145,15 @@ struct WsafStats {
   /// the incremental per-accumulate sweep) — reclaims that release
   /// occupancy without a new flow moving in.
   std::uint64_t gc_swept = 0;
-  std::uint64_t probes = 0;       ///< slots touched
+  /// Probe steps taken: slots touched in kScalarProbe, buckets examined in
+  /// kBucketed (same unit change as the probe-length histogram — see
+  /// docs/OBSERVABILITY.md).
+  std::uint64_t probes = 0;
   std::uint64_t rejected = 0;     ///< all probed slots referenced & fresher (never with eviction fallback)
+  /// kBucketed only: occupied slots whose tag matched but whose key did not
+  /// — the false-positive rate of the 1-byte fingerprint filter (each one
+  /// costs an extra entry-line dereference).
+  std::uint64_t tag_collisions = 0;
 };
 
 /// How close the table is to silent accuracy collapse. kElevated means
@@ -142,12 +200,21 @@ class WsafTable {
                          double est_packets, double est_bytes,
                          std::uint64_t now_ns);
 
-  /// Prefetch the head of the flow's probe sequence (slots i = 0 and 1 —
-  /// the window accumulate() resolves in for the overwhelming majority of
-  /// events). A pure hint: no state change, no telemetry, no double-count;
-  /// the batched engine issues it as soon as a saturation event is
-  /// discovered, packets before the accumulate() drain touches the slot.
+  /// Prefetch the head of the flow's probe sequence. A pure hint: no state
+  /// change, no telemetry, no double-count; the batched engine issues it as
+  /// soon as a saturation event is discovered, packets before the
+  /// accumulate() drain touches the line.
+  ///   kScalarProbe: slots i = 0 and 1 — the window accumulate() resolves
+  ///   in for the overwhelming majority of events.
+  ///   kBucketed: exactly one line, the home bucket's metadata; the tag
+  ///   compare resolves there and names the single entry line to touch.
   void prefetch(std::uint64_t flow_hash) const noexcept {
+    if (config_.layout == WsafLayout::kBucketed) {
+      __builtin_prefetch(
+          static_cast<const void*>(buckets_.data() + bucket_of(flow_hash, 0)),
+          1, 1);
+      return;
+    }
     __builtin_prefetch(
         static_cast<const void*>(slots_.data() + slot_of(flow_hash, 0)), 1, 1);
     __builtin_prefetch(
@@ -205,6 +272,10 @@ class WsafTable {
   }
   [[nodiscard]] const WsafStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const WsafConfig& config() const noexcept { return config_; }
+  /// This table's eviction-policy version (see wsaf_eviction_policy_version).
+  [[nodiscard]] unsigned policy_version() const noexcept {
+    return wsaf_eviction_policy_version(config_.layout);
+  }
 
   /// Current overload signal: occupancy plus windowed eviction pressure
   /// (recomputed every kPressureWindow accumulates). Levels: saturated at
@@ -253,6 +324,8 @@ class WsafTable {
   [[nodiscard]] static WsafTable load(const std::string& path);
 
  private:
+  friend struct WsafTableTestPeer;  // invariant fuzz inspects slots/metadata
+
   [[nodiscard]] std::size_t slot_of(std::uint64_t flow_hash,
                                     unsigned i) const noexcept {
     // Triangular quadratic probing; the i-th offset is i(i+1)/2.
@@ -260,6 +333,26 @@ class WsafTable {
     return static_cast<std::size_t>(
         (base + (static_cast<std::uint64_t>(i) * (i + 1)) / 2) & mask_);
   }
+  /// j-th bucket of the flow's overflow sequence: the same triangular walk,
+  /// over buckets instead of slots.
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t flow_hash,
+                                      unsigned j) const noexcept {
+    const std::uint64_t base = flow_hash & bucket_mask_;
+    return static_cast<std::size_t>(
+        (base + (static_cast<std::uint64_t>(j) * (j + 1)) / 2) & bucket_mask_);
+  }
+  /// First slot of bucket b: slots are stored bucket-contiguously, so the
+  /// bucketed layout reuses slots_ (views/snapshots iterate it unchanged).
+  [[nodiscard]] static constexpr std::size_t slot_base(std::size_t b) noexcept {
+    return b * WsafBucketMeta::kSlots;
+  }
+
+  Accumulated accumulate_bucketed(const netio::FlowKey& key,
+                                  std::uint64_t flow_hash, double est_packets,
+                                  double est_bytes, std::uint64_t now_ns);
+  [[nodiscard]] std::optional<WsafEntry> lookup_bucketed(
+      const netio::FlowKey& key, std::uint64_t flow_hash,
+      std::uint64_t now_ns) const noexcept;
   [[nodiscard]] bool expired(const WsafEntry& e,
                              std::uint64_t now_ns) const noexcept {
     return config_.idle_timeout_ns != 0 &&
@@ -271,6 +364,11 @@ class WsafTable {
   WsafConfig config_;
   std::uint64_t mask_;
   std::vector<WsafEntry> slots_;
+  // kBucketed acceleration structure: one metadata line per 16 slots.
+  // Empty (and bucket_window_ == 0) in the scalar layout.
+  std::vector<WsafBucketMeta> buckets_;
+  std::uint64_t bucket_mask_ = 0;
+  unsigned bucket_window_ = 0;  ///< ceil(probe_limit/16), capped at #buckets
   std::size_t occupied_ = 0;
   std::uint64_t latest_ns_ = 0;   ///< trace-time high-water mark
   std::size_t sweep_cursor_ = 0;  ///< next slot the incremental sweep visits
@@ -289,6 +387,7 @@ class WsafTable {
   telemetry::Counter tel_gc_reclaims_;
   telemetry::Counter tel_gc_swept_;
   telemetry::Counter tel_rejected_;
+  telemetry::Counter tel_tag_collisions_;
   telemetry::Gauge tel_occupancy_;
   telemetry::Gauge tel_pressure_level_;
   telemetry::Gauge tel_eviction_pressure_;

@@ -11,6 +11,7 @@
 
 #include "analysis/ground_truth.h"
 #include "trace/generator.h"
+#include "wsaf_layout_env.h"
 
 namespace instameasure::runtime {
 namespace {
@@ -21,6 +22,7 @@ MultiCoreConfig small_config(unsigned workers) {
   config.queue_capacity = 1 << 12;
   config.engine.regulator.l1_memory_bytes = 32 * 1024;
   config.engine.wsaf.log2_entries = 14;
+  config.engine.wsaf.layout = testenv::wsaf_layout_from_env();
   return config;
 }
 

@@ -23,6 +23,7 @@
 #include "runtime/multicore.h"
 #include "telemetry/trace.h"
 #include "trace/generator.h"
+#include "wsaf_layout_env.h"
 
 namespace instameasure {
 namespace {
@@ -325,6 +326,7 @@ runtime::MultiCoreConfig small_config(unsigned workers) {
   config.queue_capacity = 1 << 10;
   config.engine.regulator.l1_memory_bytes = 32 * 1024;
   config.engine.wsaf.log2_entries = 14;
+  config.engine.wsaf.layout = testenv::wsaf_layout_from_env();
   return config;
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <unistd.h>
@@ -26,15 +27,22 @@ netio::FlowKey key_n(std::uint32_t n) {
   return netio::FlowKey{n, n + 7, static_cast<std::uint16_t>(n), 80, 6};
 }
 
-WsafTable populated_table() {
+// Tables are always fed hashes seeded with their own config.seed — the
+// engine enforces this (config.wsaf.seed = config.seed) and the v2
+// snapshot loader cross-checks each record's flow_id against
+// key.hash(header.seed), so an unseeded hash would be rejected at load.
+constexpr std::uint64_t kSeed = 0x1234;
+
+WsafTable populated_table(WsafLayout layout = WsafLayout::kScalarProbe) {
   WsafConfig config;
   config.log2_entries = 10;
   config.probe_limit = 8;
-  config.seed = 0x1234;
+  config.seed = kSeed;
+  config.layout = layout;
   WsafTable table{config};
   for (std::uint32_t n = 0; n < 200; ++n) {
     const auto key = key_n(n);
-    table.accumulate(key, key.hash(), static_cast<double>(n) + 0.5,
+    table.accumulate(key, key.hash(kSeed), static_cast<double>(n) + 0.5,
                      static_cast<double>(n) * 100.0, n * 10);
   }
   return table;
@@ -49,11 +57,12 @@ TEST_F(WsafSnapshotTest, RoundTripPreservesEverything) {
   EXPECT_EQ(restored.config().log2_entries, original.config().log2_entries);
   EXPECT_EQ(restored.config().probe_limit, original.config().probe_limit);
   EXPECT_EQ(restored.config().seed, original.config().seed);
+  EXPECT_EQ(restored.config().layout, WsafLayout::kScalarProbe);
 
   for (std::uint32_t n = 0; n < 200; ++n) {
     const auto key = key_n(n);
-    const auto a = original.lookup(key, key.hash());
-    const auto b = restored.lookup(key, key.hash());
+    const auto a = original.lookup(key, key.hash(kSeed));
+    const auto b = restored.lookup(key, key.hash(kSeed));
     ASSERT_EQ(a.has_value(), b.has_value()) << "flow " << n;
     if (!a) continue;
     EXPECT_DOUBLE_EQ(a->packets, b->packets);
@@ -63,13 +72,45 @@ TEST_F(WsafSnapshotTest, RoundTripPreservesEverything) {
   }
 }
 
+TEST_F(WsafSnapshotTest, BucketedRoundTripPreservesLayoutAndEntries) {
+  // The bucketed layout serializes NOTHING extra — tags/bitmaps are
+  // rebuilt from the records — so the round trip must restore a table
+  // whose lookups (which go through the rebuilt metadata) match.
+  const auto original = populated_table(WsafLayout::kBucketed);
+  original.save(path_);
+  const auto restored = WsafTable::load(path_);
+
+  EXPECT_EQ(restored.config().layout, WsafLayout::kBucketed);
+  EXPECT_EQ(restored.policy_version(), 2u);
+  EXPECT_EQ(restored.occupancy(), original.occupancy());
+  for (std::uint32_t n = 0; n < 200; ++n) {
+    const auto key = key_n(n);
+    const auto a = original.lookup(key, key.hash(kSeed));
+    const auto b = restored.lookup(key, key.hash(kSeed));
+    ASSERT_EQ(a.has_value(), b.has_value()) << "flow " << n;
+    if (!a) continue;
+    EXPECT_DOUBLE_EQ(a->packets, b->packets);
+    EXPECT_DOUBLE_EQ(a->bytes, b->bytes);
+    EXPECT_EQ(a->flow_id, b->flow_id);
+  }
+}
+
+TEST_F(WsafSnapshotTest, RestoredBucketedTableAcceptsNewAccumulates) {
+  populated_table(WsafLayout::kBucketed).save(path_);
+  auto restored = WsafTable::load(path_);
+  const auto key = key_n(5);
+  const auto before = restored.lookup(key, key.hash(kSeed))->packets;
+  restored.accumulate(key, key.hash(kSeed), 10.0, 0.0, 99'999);
+  EXPECT_DOUBLE_EQ(restored.lookup(key, key.hash(kSeed))->packets, before + 10.0);
+}
+
 TEST_F(WsafSnapshotTest, RestoredTableAcceptsNewAccumulates) {
   populated_table().save(path_);
   auto restored = WsafTable::load(path_);
   const auto key = key_n(5);
-  const auto before = restored.lookup(key, key.hash())->packets;
-  restored.accumulate(key, key.hash(), 10.0, 0.0, 99'999);
-  EXPECT_DOUBLE_EQ(restored.lookup(key, key.hash())->packets, before + 10.0);
+  const auto before = restored.lookup(key, key.hash(kSeed))->packets;
+  restored.accumulate(key, key.hash(kSeed), 10.0, 0.0, 99'999);
+  EXPECT_DOUBLE_EQ(restored.lookup(key, key.hash(kSeed))->packets, before + 10.0);
 }
 
 TEST_F(WsafSnapshotTest, EmptyTableRoundTrips) {
@@ -103,16 +144,41 @@ TEST_F(WsafSnapshotTest, TruncatedBodyThrows) {
   EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
 }
 
+TEST_F(WsafSnapshotTest, TruncatedBucketedBodyThrows) {
+  // "Truncated metadata" in the bucketed format: since tags are rebuilt
+  // from records, truncation surfaces as a short record stream — load()
+  // must diagnose, never crash or restore a partial bitmap silently.
+  populated_table(WsafLayout::kBucketed).save(path_);
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 16);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, TruncatedV2HeaderThrows) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out.write("IMWSAF02\x0a\x00", 10);  // magic + 2 bytes of a 48-byte header
+  }
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
 // --- Corrupt-content tests -------------------------------------------------
 // These patch bytes of a snapshot written by save() at known offsets of the
-// on-disk layout: 40-byte header (magic @0, log2_entries u32 @8, probe_limit
-// u32 @12, idle_timeout u64 @16, seed u64 @24, occupied u64 @32), then one
-// 64-byte record per occupied slot, each starting with the u64 slot index.
+// v2 on-disk layout: 48-byte header (magic "IMWSAF02" @0, log2_entries u32
+// @8, probe_limit u32 @12, layout u32 @16, reserved u32 @20, idle_timeout
+// u64 @24, seed u64 @32, occupied u64 @40), then one 64-byte record per
+// occupied slot: slot u64 @+0, src_ip u32 @+8, dst_ip u32 @+12, src_port
+// u16 @+16, dst_port u16 @+18, proto u8 @+20, referenced u8 @+21, flow_id
+// u32 @+24, packets f64 @+32, bytes f64 @+40, first_seen u64 @+48,
+// last_update u64 @+56.
 
-constexpr std::streamoff kHeaderBytes = 40;
+constexpr std::streamoff kHeaderBytes = 48;
+constexpr std::streamoff kLog2Offset = 8;
 constexpr std::streamoff kProbeLimitOffset = 12;
-constexpr std::streamoff kOccupiedOffset = 32;
+constexpr std::streamoff kLayoutOffset = 16;
+constexpr std::streamoff kOccupiedOffset = 40;
 constexpr std::streamoff kRecordBytes = 64;
+constexpr std::streamoff kRecFlowIdOffset = 24;
 
 template <typename T>
 void patch_file(const std::string& path, std::streamoff offset, T value) {
@@ -132,19 +198,40 @@ T read_at(const std::string& path, std::streamoff offset) {
   return value;
 }
 
+netio::FlowKey record_key_at(const std::string& path, std::streamoff record) {
+  const auto base = kHeaderBytes + record * kRecordBytes;
+  return netio::FlowKey{read_at<std::uint32_t>(path, base + 8),
+                        read_at<std::uint32_t>(path, base + 12),
+                        read_at<std::uint16_t>(path, base + 16),
+                        read_at<std::uint16_t>(path, base + 18),
+                        read_at<std::uint8_t>(path, base + 20)};
+}
+
 TEST_F(WsafSnapshotTest, LayoutMatchesPatchOffsets) {
   // Guard for the tests below: if the snapshot format ever changes shape,
   // fail here with a clear message instead of in a byte-patching test.
-  const auto table = populated_table();
+  const auto table = populated_table(WsafLayout::kBucketed);
   table.save(path_);
   ASSERT_EQ(std::filesystem::file_size(path_),
             static_cast<std::uintmax_t>(
                 kHeaderBytes + kRecordBytes *
                                    static_cast<std::streamoff>(
                                        table.occupancy())));
-  EXPECT_EQ(read_at<std::uint64_t>(path_, kOccupiedOffset), table.occupancy());
+  char magic[9] = {};
+  std::ifstream{path_, std::ios::binary}.read(magic, 8);
+  EXPECT_STREQ(magic, "IMWSAF02");
+  EXPECT_EQ(read_at<std::uint32_t>(path_, kLog2Offset),
+            table.config().log2_entries);
   EXPECT_EQ(read_at<std::uint32_t>(path_, kProbeLimitOffset),
             table.config().probe_limit);
+  EXPECT_EQ(read_at<std::uint32_t>(path_, kLayoutOffset),
+            static_cast<std::uint32_t>(WsafLayout::kBucketed));
+  EXPECT_EQ(read_at<std::uint64_t>(path_, kOccupiedOffset), table.occupancy());
+  // Record-shape guard: the first record's flow_id must equal the id32 of
+  // the key rebuilt from the record's own tuple fields — pinning every
+  // field offset the record-patching tests below rely on.
+  EXPECT_EQ(read_at<std::uint32_t>(path_, kHeaderBytes + kRecFlowIdOffset),
+            record_key_at(path_, 0).id32(table.config().seed));
 }
 
 TEST_F(WsafSnapshotTest, ZeroProbeLimitHeaderThrows) {
@@ -161,6 +248,60 @@ TEST_F(WsafSnapshotTest, OccupiedBeyondCapacityThrows) {
   populated_table().save(path_);
   patch_file<std::uint64_t>(path_, kOccupiedOffset,
                             (std::uint64_t{1} << 10) + 1);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, UnknownLayoutThrows) {
+  populated_table().save(path_);
+  patch_file<std::uint32_t>(path_, kLayoutOffset, 7);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, BucketedBadBucketCountThrows) {
+  // A bucketed header claiming a sub-bucket table (log2_entries < 4) has
+  // no valid bucket count; restoring it would index an empty bucket array.
+  populated_table(WsafLayout::kBucketed).save(path_);
+  patch_file<std::uint32_t>(path_, kLog2Offset, 2);
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+TEST_F(WsafSnapshotTest, RecordFlowIdKeyMismatchThrows) {
+  // v2 records are cross-checked: a flow_id that does not match the
+  // record's own key (here: bit-flipped) means the key or id bytes were
+  // corrupted — and in the bucketed layout the rebuilt fingerprint tag
+  // would make the entry unfindable. One-line diagnostic, no crash.
+  for (const auto layout :
+       {WsafLayout::kScalarProbe, WsafLayout::kBucketed}) {
+    populated_table(layout).save(path_);
+    const auto good =
+        read_at<std::uint32_t>(path_, kHeaderBytes + kRecFlowIdOffset);
+    patch_file<std::uint32_t>(path_, kHeaderBytes + kRecFlowIdOffset, ~good);
+    EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error)
+        << to_string(layout);
+  }
+}
+
+TEST_F(WsafSnapshotTest, RecordSlotOutsideProbeWindowThrows) {
+  // A v2 record whose slot its own key cannot reach is corrupt: the entry
+  // would be resident yet unreachable by every probe sequence.
+  const auto table = populated_table();
+  table.save(path_);
+  const auto key = record_key_at(path_, 0);
+  const auto hash = key.hash(table.config().seed);
+  // Find a slot outside the key's 8-step triangular window.
+  const std::uint64_t mask = table.config().entries() - 1;
+  std::uint64_t unreachable = 0;
+  for (std::uint64_t s = 0; s < table.config().entries(); ++s) {
+    bool reachable = false;
+    for (unsigned i = 0; i < table.config().probe_limit && !reachable; ++i) {
+      reachable = ((hash & mask) + i * (i + 1) / 2) % (mask + 1) == s;
+    }
+    if (!reachable) {
+      unreachable = s;
+      break;
+    }
+  }
+  patch_file<std::uint64_t>(path_, kHeaderBytes, unreachable);
   EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
 }
 
@@ -186,6 +327,117 @@ TEST_F(WsafSnapshotTest, OccupancyCountsRestoredRecordsNotHeaderClaim) {
                             static_cast<std::uint64_t>(claimed));
   const auto restored = WsafTable::load(path_);
   EXPECT_EQ(restored.occupancy(), claimed);
+}
+
+// --- Legacy (v1) compatibility ---------------------------------------------
+// v1 snapshots ("IMWSAF01") predate the layout field: a 40-byte header
+// (magic @0, log2_entries u32 @8, probe_limit u32 @12, idle_timeout u64
+// @16, seed u64 @24, occupied u64 @32) followed by the same 64-byte
+// records. They must keep loading — always as kScalarProbe, with v1's
+// lenient record checks. The synthesizer below pins that byte layout
+// independently of any writer still existing in the codebase.
+
+void put_bytes(std::vector<char>& buf, std::size_t offset, const void* src,
+               std::size_t n) {
+  std::memcpy(buf.data() + offset, src, n);
+}
+
+template <typename T>
+void put(std::vector<char>& buf, std::size_t offset, T value) {
+  put_bytes(buf, offset, &value, sizeof value);
+}
+
+std::vector<char> v1_snapshot_bytes(std::uint64_t seed,
+                                    const std::vector<netio::FlowKey>& keys,
+                                    unsigned log2_entries,
+                                    unsigned probe_limit) {
+  const std::uint64_t mask = (std::uint64_t{1} << log2_entries) - 1;
+  std::vector<char> buf(40 + 64 * keys.size(), 0);
+  put_bytes(buf, 0, "IMWSAF01", 8);
+  put<std::uint32_t>(buf, 8, log2_entries);
+  put<std::uint32_t>(buf, 12, probe_limit);
+  put<std::uint64_t>(buf, 16, 0);  // idle_timeout_ns
+  put<std::uint64_t>(buf, 24, seed);
+  put<std::uint64_t>(buf, 32, keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto& key = keys[i];
+    const auto hash = key.hash(seed);
+    const auto base = 40 + 64 * i;
+    put<std::uint64_t>(buf, base + 0, hash & mask);  // home slot
+    put<std::uint32_t>(buf, base + 8, key.src_ip);
+    put<std::uint32_t>(buf, base + 12, key.dst_ip);
+    put<std::uint16_t>(buf, base + 16, key.src_port);
+    put<std::uint16_t>(buf, base + 18, key.dst_port);
+    put<std::uint8_t>(buf, base + 20, key.proto);
+    put<std::uint8_t>(buf, base + 21, 0);  // referenced
+    put<std::uint32_t>(buf, base + 24, key.id32(seed));
+    put<double>(buf, base + 32, static_cast<double>(i + 1));      // packets
+    put<double>(buf, base + 40, static_cast<double>(i + 1) * 64); // bytes
+    put<std::uint64_t>(buf, base + 48, 100 * (i + 1));  // first_seen
+    put<std::uint64_t>(buf, base + 56, 200 * (i + 1));  // last_update
+  }
+  return buf;
+}
+
+TEST_F(WsafSnapshotTest, LegacyV1SnapshotLoadsAsScalarProbe) {
+  const std::uint64_t seed = 0x1234;
+  std::vector<netio::FlowKey> keys;
+  const std::uint64_t mask = (1u << 6) - 1;
+  // Pick keys with distinct home slots so every record lands cleanly.
+  std::vector<bool> taken(64, false);
+  for (std::uint32_t n = 0; keys.size() < 3 && n < 1'000; ++n) {
+    const auto key = key_n(n);
+    const auto home = key.hash(seed) & mask;
+    if (!taken[home]) {
+      taken[home] = true;
+      keys.push_back(key);
+    }
+  }
+  ASSERT_EQ(keys.size(), 3u);
+  const auto bytes = v1_snapshot_bytes(seed, keys, 6, 8);
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const auto restored = WsafTable::load(path_);
+  EXPECT_EQ(restored.config().layout, WsafLayout::kScalarProbe);
+  EXPECT_EQ(restored.policy_version(), 1u);
+  EXPECT_EQ(restored.config().seed, seed);
+  EXPECT_EQ(restored.occupancy(), 3u);
+  EXPECT_EQ(restored.latest_ns(), 600u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto e = restored.lookup(keys[i], keys[i].hash(seed));
+    ASSERT_TRUE(e.has_value()) << "flow " << i;
+    EXPECT_DOUBLE_EQ(e->packets, static_cast<double>(i + 1));
+    EXPECT_EQ(e->first_seen_ns, 100 * (i + 1));
+  }
+}
+
+TEST_F(WsafSnapshotTest, SaveAlwaysWritesV2) {
+  // A v1 snapshot re-saved by this version must come out as v2 (the
+  // migration path for legacy archives).
+  const auto bytes = v1_snapshot_bytes(0x1234, {key_n(1)}, 6, 8);
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto restored = WsafTable::load(path_);
+  restored.save(path_);
+  char magic[9] = {};
+  std::ifstream{path_, std::ios::binary}.read(magic, 8);
+  EXPECT_STREQ(magic, "IMWSAF02");
+  EXPECT_EQ(WsafTable::load(path_).occupancy(), 1u);
+}
+
+TEST_F(WsafSnapshotTest, LegacyV1TruncatedThrows) {
+  auto bytes = v1_snapshot_bytes(0x1234, {key_n(1), key_n(2)}, 6, 8);
+  bytes.resize(bytes.size() - 10);
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
 }
 
 }  // namespace

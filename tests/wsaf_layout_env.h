@@ -1,0 +1,23 @@
+// Test-only knob: pick the WSAF storage layout from the environment so the
+// same concurrency/chaos suites can run against both layouts without
+// duplicating every test. scripts/run_sanitized_tests.sh sets
+// IM_WSAF_LAYOUT=bucketed for the bucketed TSan pass; unset (or any other
+// value than "bucketed") keeps the default scalar-probe layout.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/wsaf_table.h"
+
+namespace instameasure::testenv {
+
+[[nodiscard]] inline core::WsafLayout wsaf_layout_from_env() {
+  const char* v = std::getenv("IM_WSAF_LAYOUT");
+  if (v != nullptr && std::strcmp(v, "bucketed") == 0) {
+    return core::WsafLayout::kBucketed;
+  }
+  return core::WsafLayout::kScalarProbe;
+}
+
+}  // namespace instameasure::testenv
