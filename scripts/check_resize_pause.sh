@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Release-build gate for the online-resize bounded-pause contract: builds
+# bench_micro, runs BM_WsafResizePause in both layouts over the ~512 MB /
+# 2^23-slot workload mid-migration to 2^24, and fails when either layout
+# (a) migrated more than kResizeMigrateSlotsPerOp old slots inside a single
+#     accumulate (max_op_slots > budget_slots — the hard invariant), or
+# (b) shows a p99 per-accumulate pause above the ceiling. The ceiling is a
+#     smoke bound, not a tuned SLO: the point is that pause scales with the
+#     per-op slot budget, never with table size.
+#
+# Usage: scripts/check_resize_pause.sh
+#   BUILD=build-bench P99_CEILING_NS=250000 to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source scripts/lib_bench.sh
+
+BUILD=${BUILD:-build-bench}
+P99_CEILING_NS=${P99_CEILING_NS:-250000}
+
+bench_build "$BUILD" bench_micro
+
+JSON=$(mktemp)
+trap 'rm -f "$JSON"' EXIT
+# min_time is moot: BM_WsafResizePause pins its iteration count.
+bench_micro_json "$BUILD" '^BM_WsafResizePause/' 1 "$JSON"
+
+python3 - "$JSON" "$P99_CEILING_NS" <<'EOF'
+import json
+import sys
+
+path, ceiling = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    report = json.load(f)
+runs = [b for b in report["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+        and b["name"].startswith("BM_WsafResizePause")]
+assert len(runs) == 2, f"expected both layouts, got {len(runs)} runs"
+failed = False
+for b in runs:
+    name, p99 = b["name"], b["p99_pause_ns"]
+    op, budget = b["max_op_slots"], b["budget_slots"]
+    print(f"{name:<34} p99 {p99:9.0f} ns  max_op_slots {op:.0f}"
+          f"  budget {budget:.0f}  migrated {b['migrated']:.0f}")
+    if op > budget:
+        print(f"FAIL: {name} migrated {op:.0f} slots in one accumulate "
+              f"(budget {budget:.0f}) — the pause bound is broken")
+        failed = True
+    if p99 > ceiling:
+        print(f"FAIL: {name} p99 pause {p99:.0f} ns exceeds the "
+              f"{ceiling:.0f} ns ceiling")
+        failed = True
+if failed:
+    sys.exit(1)
+print(f"OK: per-accumulate resize pause bounded "
+      f"(p99 ceiling {ceiling:.0f} ns, slot budget respected)")
+EOF

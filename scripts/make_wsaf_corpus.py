@@ -61,8 +61,12 @@ def v1_header(log2, probe, occupied, idle=0):
     return HEADER_V1.pack(b"IMWSAF01", log2, probe, idle, SEED, occupied)
 
 
-def v2_header(log2, probe, layout, occupied, idle=0):
-    return HEADER_V2.pack(b"IMWSAF02", log2, probe, layout, 0, idle, SEED, occupied)
+def v2_header(log2, probe, layout, occupied, idle=0, old_log2=0):
+    # A nonzero old_log2 in the reserved field marks an in-flight resize:
+    # the snapshot carries a second (old-region) slot namespace tagged with
+    # record-slot bit 63, and the loader completes the migration.
+    return HEADER_V2.pack(b"IMWSAF02", log2, probe, layout, old_log2, idle,
+                          SEED, occupied)
 
 
 def scalar_keys_with_distinct_home_slots(log2, count):
@@ -133,6 +137,24 @@ def main():
 
     # Bad: layout enum value from the future.
     (corpus / "bad_wsaf_layout.imwsaf").write_bytes(v2_header(6, 16, 7, 0))
+
+    # Bad: mid-resize metadata claims the old region (2^6) is not smaller
+    # than the table itself (2^6) — resizes only ever grow.
+    (corpus / "bad_wsaf_resize_shrink.imwsaf").write_bytes(
+        v2_header(6, 8, 0, 0, old_log2=6))
+
+    # Bad: an old-region record (slot bit 63) points past the declared
+    # old-region capacity (slot 40 in a 2^5-slot source table).
+    skey, _ = scalar_keys_with_distinct_home_slots(log2=6, count=1)[0]
+    oob_old = record(skey, (1 << 63) | 40, 1.0, 64.0, 100, 200)
+    (corpus / "bad_wsaf_resize_slot.imwsaf").write_bytes(
+        v2_header(6, 8, 0, 1, old_log2=5) + oob_old)
+
+    # Bad: a new-region record targets slot 100 in a table the header sizes
+    # at 2^6 = 64 slots — the capacity claim and the payload disagree.
+    oob_new = record(skey, 100, 1.0, 64.0, 100, 200)
+    (corpus / "bad_wsaf_capacity_mismatch.imwsaf").write_bytes(
+        v2_header(6, 8, 0, 1) + oob_new)
 
     for f in sorted(corpus.glob("*wsaf*.imwsaf")):
         print(f"{f.name}: {f.stat().st_size} bytes")

@@ -68,6 +68,17 @@ using SteadyClock = std::chrono::steady_clock;
       config.audit.byte_threshold = config.heavy_hitter.byte_threshold;
     }
   }
+  if (config.shared_wsaf != nullptr) {
+    // Shared-table mode: the private shard is a stub (uniform object shape,
+    // near-zero memory), never instrumented — its series would read as a
+    // dead shard next to the shared table's per-stripe ones — and never
+    // published (the table's owner runs ONE publisher for all workers).
+    // Applied last so the propagation above cannot re-wire the stub.
+    config.wsaf.log2_entries = std::min(config.wsaf.log2_entries, 6U);
+    config.wsaf.registry = nullptr;
+    config.wsaf.trace = nullptr;
+    config.publish_views = false;
+  }
   return config;
 }
 
@@ -77,6 +88,7 @@ InstaMeasure::InstaMeasure(const EngineConfig& config)
     : config_(propagated(config)),
       regulator_(config_.regulator),
       wsaf_(config_.wsaf),
+      shared_(config_.shared_wsaf),
       trace_(config_.trace),
       trace_track_(config_.trace_track),
       perf_(config_.perf) {
@@ -147,9 +159,9 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
   if (event) {
     SteadyClock::time_point e0;
     if constexpr (telemetry::kEnabled) e0 = SteadyClock::now();
-    const auto totals = wsaf_.accumulate(rec.key, flow_hash,
-                                         event->est_packets, event->est_bytes,
-                                         rec.timestamp_ns);
+    const auto totals = wsaf_accumulate(rec.key, flow_hash,
+                                        event->est_packets, event->est_bytes,
+                                        rec.timestamp_ns);
     if constexpr (audit::kEnabled) {
       if (audit_) audit_->on_accumulate(rec.key);
     }
@@ -177,7 +189,7 @@ void InstaMeasure::process(const netio::PacketRecord& rec) {
               audit_->observe(rec.key, rec.wire_len, rec.timestamp_ns)) {
         audit_->record_comparison(
             *flow, audit_estimate(rec.key, flow_hash),
-            static_cast<int>(wsaf_.pressure().level), rec.timestamp_ns);
+            static_cast<int>(pressure().level), rec.timestamp_ns);
       }
     }
   }
@@ -275,7 +287,10 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
     }
     if (const auto event =
             regulator_.offer(hashes[i], recs[i].wire_len, layouts[i])) {
-      if (prefetch) wsaf_.prefetch(hashes[i]);
+      // Shared mode: slot addresses move under another worker's stripe
+      // resize, so speculative WSAF prefetching is off (the stripe lock
+      // will serialize the real access anyway).
+      if (prefetch && shared_ == nullptr) wsaf_.prefetch(hashes[i]);
       pending[n_pending].index = static_cast<std::uint32_t>(i);
       pending[n_pending].event = *event;
       ++n_pending;
@@ -296,8 +311,8 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
     SteadyClock::time_point e0;
     if constexpr (telemetry::kEnabled) e0 = SteadyClock::now();
     const auto totals =
-        wsaf_.accumulate(rec.key, flow_hash, pending[p].event.est_packets,
-                         pending[p].event.est_bytes, rec.timestamp_ns);
+        wsaf_accumulate(rec.key, flow_hash, pending[p].event.est_packets,
+                        pending[p].event.est_bytes, rec.timestamp_ns);
     if constexpr (audit::kEnabled) {
       if (audit_) audit_->on_accumulate(rec.key);
     }
@@ -336,7 +351,7 @@ void InstaMeasure::process_chunk(const netio::PacketRecord* recs,
                                          recs[i].timestamp_ns)) {
           audit_->record_comparison(
               *flow, audit_estimate(recs[i].key, hashes[i]),
-              static_cast<int>(wsaf_.pressure().level),
+              static_cast<int>(pressure().level),
               recs[i].timestamp_ns);
         }
       }
@@ -409,7 +424,7 @@ audit::Estimate InstaMeasure::audit_estimate(const netio::FlowKey& key,
                                              std::uint64_t flow_hash) const {
   // query() restated so the auditor sees exactly what a caller would.
   audit::Estimate est;
-  if (const auto entry = wsaf_.lookup(key, flow_hash)) {
+  if (const auto entry = wsaf_lookup(key, flow_hash)) {
     est.packets = entry->packets;
     est.bytes = entry->bytes;
     est.in_wsaf = true;
@@ -426,7 +441,7 @@ void InstaMeasure::audit_final_sweep() {
         [this](const netio::FlowKey& key) {
           return audit_estimate(key, key.hash(config_.seed));
         },
-        wsaf_.latest_ns());
+        wsaf_latest_ns());
   }
 }
 
@@ -434,7 +449,7 @@ InstaMeasure::FlowEstimate InstaMeasure::query(
     const netio::FlowKey& key) const {
   const std::uint64_t flow_hash = key.hash(config_.seed);
   FlowEstimate est;
-  if (const auto entry = wsaf_.lookup(key, flow_hash)) {
+  if (const auto entry = wsaf_lookup(key, flow_hash)) {
     est.packets = entry->packets;
     est.bytes = entry->bytes;
     est.in_wsaf = true;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -52,11 +53,32 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
           " are required (workers + 1 manager track)");
     }
   }
+  if (config.shared_table && config.engine.enable_audit) {
+    throw std::invalid_argument(
+        "MultiCoreConfig: shared_table and engine.enable_audit are both set; "
+        "the audit plane assumes private per-worker shards (stolen packets "
+        "would be attributed to the wrong shard's auditor)");
+  }
   if (config.registry != nullptr) {
     registry_ = config.registry;
   } else {
     owned_registry_ = std::make_unique<telemetry::Registry>();
     registry_ = owned_registry_.get();
+  }
+  if (config.shared_table) {
+    // One striped table for every worker; geometry comes from the engine's
+    // WSAF config (SharedWsaf validates the stripe split, with values).
+    core::SharedWsafConfig sc;
+    sc.table = config.engine.wsaf;
+    // Same alignment EngineConfig::propagated() applies to a private WSAF:
+    // the table is keyed by hashes the engines compute with engine.seed, and
+    // migration rehashes entries with the table's own seed — a mismatch
+    // would strand every migrated entry outside its probe window.
+    sc.table.seed = config.engine.seed;
+    sc.table.registry = registry_;
+    sc.table.trace = nullptr;
+    sc.log2_stripes = config.shared_log2_stripes;
+    shared_ = std::make_unique<core::SharedWsaf>(sc);
   }
   const unsigned n = config.workers;
   engines_.reserve(n);
@@ -64,14 +86,21 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
     const telemetry::Labels worker_labels{{"worker", std::to_string(w)}};
     auto engine_config = config.engine;
     // Decorrelate the per-worker sketches; dispatch already partitions flows
-    // so shards never see each other's traffic.
-    engine_config.seed = config.engine.seed + w * 0x51ed270bULL;
+    // so shards never see each other's traffic. Shared-table mode must NOT
+    // decorrelate the engine seed: the one table is keyed by the
+    // engine-computed flow hashes, so differing seeds would fork a single
+    // flow into `workers` distinct entries. (Regulator seeds still
+    // decorrelate — per-worker sampling stays independent and unbiased.)
+    engine_config.seed = config.shared_table
+                             ? config.engine.seed
+                             : config.engine.seed + w * 0x51ed270bULL;
     engine_config.regulator.seed = config.engine.regulator.seed + w;
     engine_config.registry = registry_;
     engine_config.labels = worker_labels;
     engine_config.trace = config.trace;
     engine_config.trace_track = w;
-    if (config.enable_query_plane) {
+    engine_config.shared_wsaf = shared_.get();
+    if (config.enable_query_plane && !config.shared_table) {
       engine_config.publish_views = true;
       engine_config.publish = config.query_plane;
       engine_config.publish.shard = w;
@@ -101,6 +130,11 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
         "im_runtime_worker_stalled_total",
         "Watchdog reports of a worker making no progress with a backlog",
         worker_labels));
+    tel_steals_.push_back(registry_->counter(
+        "im_steal_diverted_total",
+        "Packets diverted from this full home queue to another worker "
+        "(shared-table mode only)",
+        worker_labels));
     tel_queue_depth_max_.push_back(registry_->gauge(
         "im_runtime_queue_depth_max",
         "Deepest SPSC queue backlog observed in the last run",
@@ -126,9 +160,27 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
 
   if (config.enable_query_plane) {
     std::vector<const core::SnapshotChannel*> channels;
-    channels.reserve(n);
-    for (const auto& engine : engines_) {
-      channels.push_back(engine->view_channel());
+    if (config.shared_table) {
+      // Shared mode: worker engines carry no publisher; the manager ticks
+      // one publisher over the shared table and the query plane reads its
+      // single channel (shard 0 holds the whole working set).
+      core::ViewPublishConfig pc = config.query_plane;
+      pc.shard = 0;
+      pc.registry = registry_;
+      pc.labels = telemetry::Labels{{"worker", "manager"}};
+      if constexpr (telemetry::kEnabled) {
+        if (config.trace != nullptr) {
+          pc.trace = config.trace;
+          pc.trace_track = n;  // manager's track; the manager does the ticks
+        }
+      }
+      shared_publisher_ = std::make_unique<core::ViewPublisher>(pc);
+      channels.push_back(&shared_publisher_->channel());
+    } else {
+      channels.reserve(n);
+      for (const auto& engine : engines_) {
+        channels.push_back(engine->view_channel());
+      }
     }
     core::QueryEngineConfig qc;
     qc.registry = registry_;
@@ -168,19 +220,21 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
   stats.packets = trace.packets.size();
   stats.per_worker_packets.assign(n, 0);
   stats.per_worker_dropped.assign(n, 0);
+  stats.per_worker_steals.assign(n, 0);
   stats.max_queue_depth.assign(n, 0);
   stats.worker_busy_fraction.assign(n, 0);
 
   // Counter baselines: run() may be called repeatedly while the registry
   // counters stay cumulative, so per-run stats are deltas from here.
   std::vector<std::uint64_t> packets0(n, 0), busy0(n, 0), idle0(n, 0),
-      dropped0(n, 0), shed0(n, 0);
+      dropped0(n, 0), shed0(n, 0), steals0(n, 0);
   for (unsigned w = 0; w < n; ++w) {
     packets0[w] = tel_worker_packets_[w].value();
     busy0[w] = tel_busy_polls_[w].value();
     idle0[w] = tel_idle_polls_[w].value();
     dropped0[w] = tel_dropped_[w].value();
     shed0[w] = tel_shed_[w].value();
+    steals0[w] = tel_steals_[w].value();
   }
   const std::uint64_t stalls0 = tel_producer_stalls_.value();
   // Query-plane baselines come from the channels (publish versions), not
@@ -192,10 +246,16 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
       pub_skip0[w] = p->skipped_publishes();
     }
   }
+  std::uint64_t shared_pub0 = 0, shared_pub_skip0 = 0;
+  if (shared_publisher_) {
+    shared_pub0 = shared_publisher_->publishes();
+    shared_pub_skip0 = shared_publisher_->skipped_publishes();
+  }
   // Compiled-out fallback tallies (telemetry::kEnabled == false reads every
   // counter as 0, so the deltas above would vanish).
   std::vector<std::uint64_t> local_packets(n, 0), local_busy(n, 0),
-      local_idle(n, 0), local_dropped(n, 0), local_shed(n, 0);
+      local_idle(n, 0), local_dropped(n, 0), local_shed(n, 0),
+      local_steals(n, 0);
   std::uint64_t local_stalls = 0;
 
   // Watchdog plumbing: workers publish a progress heartbeat and their
@@ -393,6 +453,39 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     }
   };
 
+  // Work-stealing (shared-table mode only): a packet whose home queue stays
+  // full is diverted to the least-loaded other queue instead of waiting or
+  // being dropped/shed. Sound only because the shared table keeps a flow's
+  // state wherever its hash says — any worker's accumulate lands on the
+  // same stripe. With private shards this would split a flow's count across
+  // shards, so the lambda is a no-op outside shared mode.
+  const auto try_steal = [&](unsigned home, const QueueItem& item) {
+    if (!config_.shared_table || n < 2) return false;
+    unsigned victim = home;
+    std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+    for (unsigned v = 0; v < n; ++v) {
+      if (v == home) continue;
+      const auto d = queues[v]->size_approx();
+      if (d < best_depth) {
+        best_depth = d;
+        victim = v;
+      }
+    }
+    if (victim == home || !try_push(*queues[victim], item)) return false;
+    tel_steals_[home].inc();
+    if constexpr (telemetry::kEnabled) {
+      if (config_.trace) {
+        config_.trace->emit(
+            n, telemetry::TraceEventKind::kWorkSteal, 0,
+            static_cast<double>(queues[home]->size_approx()),
+            home | (victim << 8));
+      }
+    } else {
+      ++local_steals[home];
+    }
+    return true;
+  };
+
   // Shed-ladder state, all manager-local (the ladder is per worker queue).
   std::vector<unsigned> level(n, 0);
   std::vector<unsigned> stall_streak(n, 0);
@@ -427,6 +520,7 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
     switch (ov.policy) {
       case OverloadPolicy::kBlock: {
         while (!try_push(queue, item)) {
+          if (try_steal(w, item)) break;
           note_stall(w, queue.size_approx());
           std::this_thread::yield();
         }
@@ -436,6 +530,10 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
         bool pushed = false;
         for (unsigned r = 0; r <= ov.full_queue_retries; ++r) {
           if (try_push(queue, item)) {
+            pushed = true;
+            break;
+          }
+          if (try_steal(w, item)) {
             pushed = true;
             break;
           }
@@ -473,7 +571,13 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
             pushed = true;
             break;
           }
+          // A steal still counts as contention for the ladder: the home
+          // queue WAS full, and sustained diversion should climb it too.
           contended = true;
+          if (try_steal(w, item)) {
+            pushed = true;
+            break;
+          }
           note_stall(w, queue.size_approx());
           std::this_thread::yield();
         }
@@ -507,6 +611,12 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
         break;
       }
     }
+    // Shared mode: the manager (not the workers) ticks the one publisher.
+    // fill_view locks stripes one at a time, so it is safe against the
+    // workers' concurrent accumulates.
+    if (shared_publisher_) {
+      shared_publisher_->maybe_publish(*shared_, rec.timestamp_ns);
+    }
   }
   done.store(true, std::memory_order_release);
   for (auto& t : workers) t.join();
@@ -531,6 +641,14 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
       stats.view_publishes_skipped += p->skipped_publishes() - pub_skip0[w];
     }
   }
+  if (shared_publisher_) {
+    // Final publish after the joins (quiescent): queries issued after
+    // run() returns see the complete shared working set.
+    shared_publisher_->publish_now(*shared_, shared_->latest_ns());
+    stats.views_published += shared_publisher_->publishes() - shared_pub0;
+    stats.view_publishes_skipped +=
+        shared_publisher_->skipped_publishes() - shared_pub_skip0;
+  }
 
   // Derive the per-run stats from the registry (counter deltas over the
   // run); the compiled-out build substitutes the local tallies.
@@ -543,6 +661,8 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
       stats.per_worker_dropped[w] = dropped + shed;
       stats.dropped += dropped;
       stats.shed += shed;
+      stats.per_worker_steals[w] = tel_steals_[w].value() - steals0[w];
+      stats.steals += stats.per_worker_steals[w];
       const auto busy = tel_busy_polls_[w].value() - busy0[w];
       const auto idle = tel_idle_polls_[w].value() - idle0[w];
       const auto total = busy + idle;
@@ -556,6 +676,8 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
       stats.per_worker_dropped[w] = local_dropped[w] + local_shed[w];
       stats.dropped += local_dropped[w];
       stats.shed += local_shed[w];
+      stats.per_worker_steals[w] = local_steals[w];
+      stats.steals += local_steals[w];
       const auto total = local_busy[w] + local_idle[w];
       stats.worker_busy_fraction[w] =
           total ? static_cast<double>(local_busy[w]) /
@@ -578,6 +700,11 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
 
 std::vector<core::TopKItem> MultiCoreEngine::top_k_packets(
     std::size_t k) const {
+  if (shared_) {
+    // Every engine would return the same global answer; summing the
+    // per-engine results would duplicate it `workers` times.
+    return shared_->top_k(k, core::TopKMetric::kPackets);
+  }
   std::vector<core::TopKItem> all;
   for (const auto& engine : engines_) {
     auto part = engine->top_k_packets(k);
@@ -592,6 +719,9 @@ std::vector<core::TopKItem> MultiCoreEngine::top_k_packets(
 }
 
 std::vector<core::TopKItem> MultiCoreEngine::top_k_bytes(std::size_t k) const {
+  if (shared_) {
+    return shared_->top_k(k, core::TopKMetric::kBytes);
+  }
   std::vector<core::TopKItem> all;
   for (const auto& engine : engines_) {
     auto part = engine->top_k_bytes(k);

@@ -28,6 +28,7 @@
 
 #include "core/instameasure.h"
 #include "core/query_engine.h"
+#include "core/wsaf_shared.h"
 #include "runtime/spsc_queue.h"
 #include "telemetry/metrics.h"
 #include "trace/trace.h"
@@ -110,6 +111,19 @@ struct MultiCoreConfig {
   /// per-shard auditors are attached to queries()->audit(), and each
   /// worker runs its exactness sweep as it drains at end of run.
   core::EngineConfig engine{};
+  /// Shared-table mode: instead of one private WSAF shard per worker, the
+  /// runtime owns a single striped SharedWsaf (geometry from engine.wsaf,
+  /// split over 2^shared_log2_stripes spinlocked stripes) that every worker
+  /// engine accumulates into. Flow state then lives wherever the flow hash
+  /// says — not in a home shard — which makes manager-side work-stealing
+  /// sound: when a worker's queue stays full, the packet is diverted to the
+  /// least-loaded other queue instead of being dropped/shed. Costs: worker
+  /// engines share one seed (the table is keyed by engine-computed hashes),
+  /// per-shard views collapse to one shared-channel publisher (ticked by
+  /// the manager), and the audit plane is unsupported (validated).
+  bool shared_table = false;
+  /// Stripe count for shared_table mode (2^k stripes; 3 -> 8 stripes).
+  unsigned shared_log2_stripes = 3;
   /// Registry every worker engine and the runtime export into (each series
   /// labeled worker="N"). When null the engine owns a private registry,
   /// reachable via registry(), so metrics are always available.
@@ -134,6 +148,7 @@ struct RunStats {
   std::uint64_t dropped = 0;             ///< kDropTail bounded-wait losses
   std::uint64_t shed = 0;                ///< kShed ladder losses (compensated)
   std::uint64_t producer_stalls = 0;     ///< full-queue backoffs
+  std::uint64_t steals = 0;              ///< packets diverted to another queue
   unsigned shed_level_peak = 0;          ///< deepest ladder rung reached
   std::uint64_t watchdog_stall_reports = 0;
   std::uint64_t views_published = 0;     ///< query-plane snapshots committed
@@ -141,15 +156,18 @@ struct RunStats {
   int wsaf_pressure_peak = 0;            ///< worst shard WsafPressureLevel seen
   std::vector<std::uint64_t> per_worker_packets;   ///< processed per worker
   std::vector<std::uint64_t> per_worker_dropped;   ///< dropped + shed per worker
+  std::vector<std::uint64_t> per_worker_steals;    ///< steals FROM this home queue
   std::vector<std::size_t> max_queue_depth;
   std::vector<double> worker_busy_fraction;  ///< busy polls / total polls
 };
 
 class MultiCoreEngine {
  public:
-  /// Throws std::invalid_argument when the config is unusable: zero
-  /// workers, a queue capacity that is not a power of two >= 2, or a
-  /// flight recorder with fewer than workers + 1 tracks.
+  /// Throws std::invalid_argument (message names the offending value) when
+  /// the config is unusable: zero workers, a queue capacity that is not a
+  /// power of two >= 2, a flight recorder with fewer than workers + 1
+  /// tracks, or a shared_table request the mode cannot honor (audit plane
+  /// enabled, or a stripe split the WSAF geometry cannot support).
   explicit MultiCoreEngine(const MultiCoreConfig& config);
   ~MultiCoreEngine();
 
@@ -181,9 +199,15 @@ class MultiCoreEngine {
     return engines_[worker_of(key)]->query(key);
   }
 
-  /// Merged top-K across shards.
+  /// Merged top-K across shards (computed once over the shared table in
+  /// shared_table mode — every engine would return the same global answer).
   [[nodiscard]] std::vector<core::TopKItem> top_k_packets(std::size_t k) const;
   [[nodiscard]] std::vector<core::TopKItem> top_k_bytes(std::size_t k) const;
+
+  /// The shared striped table, or null outside shared_table mode.
+  [[nodiscard]] core::SharedWsaf* shared_table() const noexcept {
+    return shared_.get();
+  }
 
   /// The live query plane: answers top-K / per-flow / heavy-hitter queries
   /// over the workers' published views from ANY thread, including while
@@ -219,6 +243,10 @@ class MultiCoreEngine {
 
   MultiCoreConfig config_;
   std::vector<std::unique_ptr<core::InstaMeasure>> engines_;
+  // Shared-table mode: the one striped WSAF all workers write, plus the
+  // manager-ticked publisher feeding the query plane's single channel.
+  std::unique_ptr<core::SharedWsaf> shared_;
+  std::unique_ptr<core::ViewPublisher> shared_publisher_;
   std::unique_ptr<core::QueryEngine> query_engine_;
   std::unique_ptr<telemetry::Registry> owned_registry_;
   telemetry::Registry* registry_ = nullptr;
@@ -229,6 +257,7 @@ class MultiCoreEngine {
   std::vector<telemetry::Counter> tel_dropped_;
   std::vector<telemetry::Counter> tel_shed_;
   std::vector<telemetry::Counter> tel_worker_stalled_;
+  std::vector<telemetry::Counter> tel_steals_;  ///< steals from home queue w
   std::vector<telemetry::Gauge> tel_queue_depth_max_;
   std::vector<telemetry::Gauge> tel_shed_level_;
   telemetry::Counter tel_producer_stalls_;

@@ -101,6 +101,58 @@ TEST(SnapshotChannel, WriterSkipsInsteadOfBlockingWhenEverySpareIsPinned) {
   EXPECT_EQ(channel.version(), SnapshotChannel::kBuffers + 1);
 }
 
+// Prolonged reader starvation in the middle of an online resize: every
+// spare buffer stays pinned while the table grows under ingest. The writer
+// must skip every publish (counted exactly, never blocking the data plane),
+// the last committed view must stay readable and untouched, and the first
+// publish after the pins release must reflect the grown table.
+TEST(SnapshotChannel, StarvationDuringResizeCountsSkipsAndKeepsLastView) {
+  WsafConfig tc;
+  tc.log2_entries = 10;
+  tc.probe_limit = 16;
+  WsafTable table{tc};
+  const auto mk = [](std::uint32_t n) {
+    return netio::FlowKey{n, n + 7, static_cast<std::uint16_t>(n), 80, 6};
+  };
+  for (std::uint32_t n = 0; n < 400; ++n) {
+    table.accumulate(mk(n), mk(n).hash(tc.seed), 1.0, 64.0, 100 + n);
+  }
+  ViewPublisher publisher;
+  std::vector<SnapshotChannel::ReadView> pins;
+  for (unsigned i = 0; i < SnapshotChannel::kBuffers; ++i) {
+    ASSERT_TRUE(publisher.publish_now(table, table.latest_ns()));
+    pins.push_back(publisher.channel().read());
+    ASSERT_TRUE(pins.back());
+  }
+  const auto last_version = pins.back()->version;
+  const auto last_entries = pins.back()->entries.size();
+
+  ASSERT_TRUE(table.begin_resize(11));
+  std::uint64_t skips = 0;
+  for (std::uint32_t t = 0; t < 100; ++t) {
+    table.accumulate(mk(t % 400), mk(t % 400).hash(tc.seed), 1.0, 64.0,
+                     10'000 + t);
+    EXPECT_FALSE(publisher.publish_now(table, table.latest_ns()))
+        << "all spares pinned: publish " << t << " must skip";
+    ++skips;
+  }
+  table.finish_resize();
+  EXPECT_EQ(publisher.skipped_publishes(), skips) << "skip counter exact";
+  const auto fresh = publisher.channel().read();
+  ASSERT_TRUE(fresh);
+  EXPECT_EQ(fresh->version, last_version)
+      << "the last committed view must survive the starvation";
+  EXPECT_EQ(fresh->entries.size(), last_entries);
+
+  pins.clear();
+  EXPECT_TRUE(publisher.publish_now(table, table.latest_ns()));
+  const auto grown = publisher.channel().read();
+  ASSERT_TRUE(grown);
+  EXPECT_EQ(grown->version, last_version + 1);
+  EXPECT_EQ(grown->entries.size(), 400u)
+      << "the post-release view reflects the grown table's live set";
+}
+
 // --- ViewPublisher cadence -------------------------------------------------
 
 WsafConfig small_table_config() {

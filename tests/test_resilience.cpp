@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -18,6 +19,7 @@
 
 #include "analysis/ground_truth.h"
 #include "core/wsaf_table.h"
+#include "core/wsaf_view.h"
 #include "delegation/reliable.h"
 #include "resilience/faultpoint.h"
 #include "runtime/multicore.h"
@@ -31,6 +33,17 @@ namespace {
 using resilience::FaultRegistry;
 using resilience::FaultSpec;
 using resilience::ScopedFaults;
+
+/// Fault-schedule seeds the chaos matrices iterate. IM_CHAOS_SEED=<n>
+/// narrows the matrix to that single seed — the reproduction knob: a chaos
+/// failure prints its effective seed (via SCOPED_TRACE), and re-running
+/// with IM_CHAOS_SEED set replays exactly that schedule.
+std::vector<std::uint64_t> chaos_seeds() {
+  if (const char* env = std::getenv("IM_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 2, 3};
+}
 
 // ---------- FaultPoint / FaultRegistry ----------
 
@@ -348,6 +361,46 @@ TEST(MultiCoreValidation, NonPowerOfTwoQueueRejected) {
   EXPECT_NO_THROW(runtime::MultiCoreEngine{ok});
 }
 
+// Validation failures must be actionable from the message alone: each one
+// names the offending value. Pinned as text so a refactor cannot silently
+// regress the diagnostics.
+TEST(MultiCoreValidation, ErrorMessagesNameTheOffendingValue) {
+  {
+    auto config = small_config(0);
+    try {
+      runtime::MultiCoreEngine engine{config};
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("got 0"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto config = small_config(2);
+    config.queue_capacity = 1000;
+    try {
+      runtime::MultiCoreEngine engine{config};
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("got 1000"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto config = small_config(2);
+    config.shared_table = true;
+    config.engine.enable_audit = true;
+    try {
+      runtime::MultiCoreEngine engine{config};
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("shared_table"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("enable_audit"), std::string::npos) << msg;
+    }
+  }
+}
+
 TEST(MultiCoreValidation, UndersizedTraceRecorderRejected) {
   if constexpr (!telemetry::kEnabled) GTEST_SKIP();
   telemetry::TraceConfig trace_config;
@@ -409,7 +462,8 @@ TEST(OverloadChaos, AccountingInvariantHoldsForAllPoliciesAndSeeds) {
   if (!resilience::kFaultPointsEnabled) GTEST_SKIP();
   const auto trace = chaos_trace();
   const std::uint64_t offered = trace.packets.size();
-  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("IM_CHAOS_SEED=" + std::to_string(seed));
     for (const auto policy :
          {runtime::OverloadPolicy::kBlock, runtime::OverloadPolicy::kDropTail,
           runtime::OverloadPolicy::kShed}) {
@@ -579,6 +633,164 @@ TEST(OverloadPaced, ShedBoundsBacklogWhereBlockFallsBehind) {
   EXPECT_GE(shed.shed_level_peak, 1u);
   EXPECT_LT(shed.producer_stalls, block.producer_stalls);
   EXPECT_LT(shed.wall_seconds, block.wall_seconds);
+}
+
+// ---------- Resize + shared-table chaos ----------
+
+// Online WSAF grows under kShed with a 20% injected queue-full rate and
+// occasional migrate stalls: the accounting invariant must stay exact
+// while every shard's table is migrating under live ingest.
+// The resize-chaos runs need tables that actually saturate mid-run. Mice
+// never saturate the regulator, so WSAF occupancy is bounded by the count
+// of event-producing flows: add a 200-flow mid tier (every 200-600 packet
+// flow saturates a 2-bit virtual vector repeatedly) and shrink the vectors
+// so events are plentiful enough to roll pressure windows (1024
+// accumulates each) many times per worker.
+trace::Trace resize_chaos_trace() {
+  trace::TraceConfig config;
+  config.duration_s = 1.0;
+  config.tiers = {{4, 15'000, 30'000}, {20, 1'000, 3'000}, {200, 200, 600}};
+  config.mice = {15'000, 1.1, 30};
+  config.seed = 99;
+  return trace::generate(config);
+}
+
+void shrink_regulator(runtime::MultiCoreConfig& config) {
+  config.engine.regulator.l1_memory_bytes = 2048;
+  config.engine.regulator.vv_bits = 2;
+}
+
+TEST(ResizeChaos, AccountingExactWhileTablesGrowUnderShed) {
+  if (!resilience::kFaultPointsEnabled) GTEST_SKIP();
+  const auto trace = resize_chaos_trace();
+  const std::uint64_t offered = trace.packets.size();
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("IM_CHAOS_SEED=" + std::to_string(seed));
+    ScopedFaults faults{
+        {"runtime.queue_full", {.probability = 0.2, .seed = seed}},
+        {"wsaf.resize.migrate_stall",
+         {.probability = 0.01, .seed = seed + 3}}};
+    auto config = small_config(2);
+    config.queue_capacity = 1 << 8;
+    config.overload.policy = runtime::OverloadPolicy::kShed;
+    config.overload.full_queue_retries = 0;  // make sheds reachable
+    config.overload.escalate_after_stalls = 8;
+    config.overload.max_shed_level = 4;
+    // Deliberately undersized with auto-grow headroom: hundreds of
+    // event-producing flows pour into 2^6 slots, forcing repeated online
+    // grows in the middle of the overloaded run.
+    shrink_regulator(config);
+    config.engine.wsaf.log2_entries = 6;
+    config.engine.wsaf.grow_after_saturated_windows = 2;
+    config.engine.wsaf.max_log2_entries = 14;
+    runtime::MultiCoreEngine engine{config};
+    const auto stats = engine.run(trace);
+    EXPECT_EQ(stats.packets, offered);
+    EXPECT_EQ(stats.processed + stats.dropped + stats.shed, offered);
+    std::uint64_t grows = 0;
+    for (unsigned w = 0; w < engine.workers(); ++w) {
+      grows += engine.engine(w).wsaf().resize_stats().started;
+    }
+    EXPECT_GE(grows, 1u) << "the chaos run must actually have resized";
+  }
+}
+
+// Injected allocation failure on every grow attempt: auto-grow keeps
+// retrying and aborting, the tables never change size, and the run still
+// completes with exact accounting (rollback leaves the table serving).
+TEST(ResizeChaos, AllocationFailureRollsBackAndTheRunCompletes) {
+  if (!resilience::kFaultPointsEnabled) GTEST_SKIP();
+  const auto trace = resize_chaos_trace();
+  ScopedFaults faults{{"wsaf.resize.alloc_fail", {.probability = 1.0}}};
+  auto config = small_config(2);
+  shrink_regulator(config);
+  config.engine.wsaf.log2_entries = 6;
+  config.engine.wsaf.grow_after_saturated_windows = 2;
+  config.engine.wsaf.max_log2_entries = 14;
+  runtime::MultiCoreEngine engine{config};
+  const auto stats = engine.run(trace);
+  EXPECT_EQ(stats.processed, trace.packets.size());
+  for (unsigned w = 0; w < engine.workers(); ++w) {
+    const auto& wsaf = engine.engine(w).wsaf();
+    EXPECT_EQ(wsaf.slot_count(), std::size_t{1} << 6)
+        << "worker " << w << ": every grow attempt must have rolled back";
+    EXPECT_GE(wsaf.resize_stats().aborted, 1u) << "worker " << w;
+    EXPECT_EQ(wsaf.resize_stats().started, 0u) << "worker " << w;
+  }
+}
+
+// Shared-table mode under the same 20% queue-full chaos: packets whose
+// home queue stays full are stolen to other workers instead of shed, and
+// the steal counters reconcile exactly with the accounting invariant.
+TEST(SharedTableChaos, StealingPreservesExactAccounting) {
+  if (!resilience::kFaultPointsEnabled) GTEST_SKIP();
+  const auto trace = chaos_trace();
+  const std::uint64_t offered = trace.packets.size();
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("IM_CHAOS_SEED=" + std::to_string(seed));
+    ScopedFaults faults{
+        {"runtime.queue_full", {.probability = 0.2, .seed = seed}}};
+    auto config = small_config(4);
+    config.queue_capacity = 1 << 8;
+    config.shared_table = true;
+    config.overload.policy = runtime::OverloadPolicy::kShed;
+    config.overload.full_queue_retries = 2;
+    config.overload.escalate_after_stalls = 8;
+    config.overload.max_shed_level = 4;
+    runtime::MultiCoreEngine engine{config};
+    const auto stats = engine.run(trace);
+    EXPECT_EQ(stats.packets, offered);
+    EXPECT_EQ(stats.processed + stats.dropped + stats.shed, offered);
+    EXPECT_GT(stats.steals, 0u)
+        << "a 20% queue-full rate must have diverted some packets";
+    std::uint64_t per_worker = 0;
+    for (const auto s : stats.per_worker_steals) per_worker += s;
+    EXPECT_EQ(per_worker, stats.steals);
+  }
+}
+
+// Shared-table mode while the stripes grow online AND packets are being
+// stolen: the hardest interleaving this PR ships. Accounting stays exact
+// and the shared table ends with every processed flow visible once.
+TEST(SharedTableChaos, ResizeUnderStealingStaysConsistent) {
+  if (!resilience::kFaultPointsEnabled) GTEST_SKIP();
+  const auto trace = resize_chaos_trace();
+  const std::uint64_t offered = trace.packets.size();
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE("IM_CHAOS_SEED=" + std::to_string(seed));
+    ScopedFaults faults{
+        {"runtime.queue_full", {.probability = 0.2, .seed = seed}}};
+    auto config = small_config(4);
+    config.queue_capacity = 1 << 8;
+    config.shared_table = true;
+    config.shared_log2_stripes = 2;
+    config.overload.policy = runtime::OverloadPolicy::kShed;
+    config.overload.full_queue_retries = 2;
+    config.overload.escalate_after_stalls = 8;
+    config.overload.max_shed_level = 4;
+    // 4 stripes of 2^4 slots: hundreds of event-producing flows saturate
+    // every stripe, so the stripes must grow online while packets are
+    // simultaneously being stolen across home queues.
+    shrink_regulator(config);
+    config.engine.wsaf.log2_entries = 6;
+    config.engine.wsaf.grow_after_saturated_windows = 2;
+    config.engine.wsaf.max_log2_entries = 16;
+    runtime::MultiCoreEngine engine{config};
+    const auto stats = engine.run(trace);
+    EXPECT_EQ(stats.processed + stats.dropped + stats.shed, offered);
+    ASSERT_NE(engine.shared_table(), nullptr);
+    EXPECT_GE(engine.shared_table()->resize_stats().started, 1u)
+        << "the shared stripes must actually have grown";
+    // One consistent epoch at the end: every live flow exactly once.
+    core::WsafView view;
+    engine.shared_table()->fill_view(view,
+                                     engine.shared_table()->latest_ns());
+    std::set<std::string> keys;
+    for (const auto& e : view.entries) {
+      EXPECT_TRUE(keys.insert(e.key.to_string()).second)
+          << e.key.to_string() << " appears twice";
+    }
+  }
 }
 
 // ---------- Watchdog ----------

@@ -1,0 +1,410 @@
+// Incremental online resize: the differential and robustness contract.
+//
+//  * Growth equivalence (the tentpole proof): a table grown online in the
+//    middle of live Zipf ingest must be logically indistinguishable from a
+//    fresh table built at the final capacity — same stats, occupancy,
+//    logical entries, top-K and per-flow answers — in the zero-eviction
+//    regime, for both layouts and several trace seeds. Migration is a
+//    move, never an arrival: it may not count inserts or updates.
+//  * Mid-migration consistency: at every step of the split-cursor walk the
+//    table serves one consistent epoch — every flow findable, exactly
+//    once, occupancy equal to the number of live flows.
+//  * Bounded pause: no single accumulate() ever pays more than
+//    kResizeMigrateSlotsPerOp old slots of migration work.
+//  * Fault injection: an (injected) allocation failure rolls back with the
+//    table still serving at old capacity; a migrate stall is counted and
+//    cannot wedge finish_resize().
+//  * Snapshots: a mid-resize save round-trips by completing the migration
+//    at load; torn or nonsensical resize metadata is rejected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <unistd.h>
+#include <unordered_set>
+#include <vector>
+
+#include "core/topk.h"
+#include "core/wsaf_table.h"
+#include "resilience/faultpoint.h"
+#include "trace/generator.h"
+
+namespace instameasure::core {
+namespace {
+
+netio::FlowKey key_n(std::uint32_t n) {
+  return netio::FlowKey{n, n + 7, static_cast<std::uint16_t>(n), 80, 6};
+}
+
+trace::Trace zipf_trace(std::uint64_t seed) {
+  trace::TraceConfig config;
+  config.name = "resize-diff-" + std::to_string(seed);
+  config.duration_s = 1.0;
+  config.tiers = {{3, 15'000, 30'000}, {25, 1'000, 4'000}};
+  config.mice = {8'000, 1.1, 40};
+  config.seed = seed;
+  return trace::generate(config);
+}
+
+using LogicalEntry =
+    std::tuple<netio::FlowKey, double, double, std::uint64_t, std::uint64_t>;
+
+[[nodiscard]] std::vector<LogicalEntry> logical_entries(const WsafTable& table,
+                                                        std::uint64_t now_ns) {
+  std::vector<LogicalEntry> out;
+  for (const auto* e : table.live_entries(now_ns)) {
+    out.emplace_back(e->key, e->packets, e->bytes, e->first_seen_ns,
+                     e->last_update_ns);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+WsafConfig table_config(WsafLayout layout, unsigned log2) {
+  WsafConfig config;
+  config.log2_entries = log2;
+  config.probe_limit = 32;
+  config.layout = layout;
+  return config;
+}
+
+// --- Growth equivalence ----------------------------------------------------
+
+// Feed a Zipf trace; a third of the way in, begin an online grow by one
+// doubling and keep feeding (migration amortizes into the remaining
+// accumulates). The result must match a fresh table born at the final
+// capacity fed the identical stream. 2 layouts x 3 seeds.
+TEST(WsafResize, OnlineGrowthMatchesFreshTableAtFinalCapacity) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto trace = zipf_trace(seed);
+    for (const auto layout : {WsafLayout::kScalarProbe, WsafLayout::kBucketed}) {
+      SCOPED_TRACE(std::string{to_string(layout)} +
+                   " seed=" + std::to_string(seed));
+      // ~8k flows into 2^15 -> 2^16 slots with a 32-slot window: load stays
+      // <= 0.25, so nothing evicts and exact equality is the contract.
+      WsafTable grown{table_config(layout, 15)};
+      WsafTable fresh{table_config(layout, 16)};
+      const auto hseed = grown.config().seed;
+      const std::size_t resize_at = trace.packets.size() / 3;
+      std::size_t i = 0;
+      for (const auto& rec : trace.packets) {
+        if (i++ == resize_at) {
+          ASSERT_TRUE(grown.begin_resize(16));
+          ASSERT_TRUE(grown.resizing());
+          EXPECT_EQ(grown.resize_source_log2(), 15u);
+        }
+        const auto h = rec.key.hash(hseed);
+        const double bytes = static_cast<double>(rec.wire_len);
+        grown.accumulate(rec.key, h, 1.0, bytes, rec.timestamp_ns);
+        fresh.accumulate(rec.key, h, 1.0, bytes, rec.timestamp_ns);
+      }
+      grown.finish_resize();
+      ASSERT_FALSE(grown.resizing());
+      EXPECT_EQ(grown.slot_count(), fresh.slot_count());
+
+      // Zero-eviction regime, asserted so a sizing change cannot silently
+      // weaken the differential.
+      ASSERT_EQ(grown.stats().evictions, 0u);
+      ASSERT_EQ(grown.stats().rejected, 0u);
+      ASSERT_EQ(fresh.stats().evictions, 0u);
+      ASSERT_EQ(fresh.stats().rejected, 0u);
+
+      // Migration is a move, not an arrival: insert/update counts match a
+      // table that never resized. (probes differ by construction.)
+      EXPECT_EQ(grown.stats().accumulates, fresh.stats().accumulates);
+      EXPECT_EQ(grown.stats().inserts, fresh.stats().inserts);
+      EXPECT_EQ(grown.stats().updates, fresh.stats().updates);
+      EXPECT_EQ(grown.occupancy(), fresh.occupancy());
+
+      const auto now = grown.latest_ns();
+      ASSERT_EQ(now, fresh.latest_ns());
+      EXPECT_EQ(logical_entries(grown, now), logical_entries(fresh, now));
+
+      // Top-K and per-flow decode over the grown table answer identically.
+      const auto tg = top_k(grown, 10, TopKMetric::kPackets);
+      const auto tf = top_k(fresh, 10, TopKMetric::kPackets);
+      ASSERT_EQ(tg.size(), tf.size());
+      for (std::size_t r = 0; r < tg.size(); ++r) {
+        EXPECT_EQ(tg[r].key, tf[r].key) << "rank " << r;
+        EXPECT_DOUBLE_EQ(tg[r].packets, tf[r].packets) << "rank " << r;
+      }
+      std::unordered_set<std::uint64_t> seen;
+      std::size_t checked = 0;
+      for (const auto& rec : trace.packets) {
+        if (checked >= 300) break;
+        if (!seen.insert(rec.key.hash()).second) continue;
+        ++checked;
+        const auto h = rec.key.hash(hseed);
+        const auto eg = grown.lookup(rec.key, h, now);
+        const auto ef = fresh.lookup(rec.key, h, now);
+        ASSERT_EQ(eg.has_value(), ef.has_value()) << rec.key.to_string();
+        if (eg) {
+          EXPECT_DOUBLE_EQ(eg->packets, ef->packets) << rec.key.to_string();
+          EXPECT_DOUBLE_EQ(eg->bytes, ef->bytes) << rec.key.to_string();
+        }
+      }
+
+      const auto& rs = grown.resize_stats();
+      EXPECT_EQ(rs.started, 1u);
+      EXPECT_EQ(rs.completed, 1u);
+      EXPECT_EQ(rs.aborted, 0u);
+      EXPECT_GT(rs.entries_migrated, 0u);
+      // The bounded-pause contract, on real migration traffic.
+      EXPECT_LE(rs.max_op_slots, WsafTable::kResizeMigrateSlotsPerOp);
+    }
+  }
+}
+
+// --- Mid-migration consistency --------------------------------------------
+
+// While the split cursor walks, the table must serve one consistent epoch:
+// every live flow findable, live_entries() covering each flow exactly once
+// and agreeing with occupancy at every step.
+TEST(WsafResize, MidMigrationServesOneConsistentEpoch) {
+  for (const auto layout : {WsafLayout::kScalarProbe, WsafLayout::kBucketed}) {
+    SCOPED_TRACE(to_string(layout));
+    WsafTable table{table_config(layout, 12)};
+    const auto seed = table.config().seed;
+    constexpr std::uint32_t kFlows = 1'000;
+    for (std::uint32_t n = 0; n < kFlows; ++n) {
+      const auto key = key_n(n);
+      table.accumulate(key, key.hash(seed), 1.0, 64.0, 100 + n);
+    }
+    ASSERT_EQ(table.occupancy(), kFlows);
+    ASSERT_TRUE(table.begin_resize(13));
+
+    // 2^12 old slots at 64/op -> 64 accumulates to drain; probe the epoch
+    // after each step until the migration completes.
+    std::uint32_t tick = 0;
+    while (table.resizing()) {
+      const auto key = key_n(tick % kFlows);
+      table.accumulate(key, key.hash(seed), 1.0, 64.0, 5'000 + tick);
+      ++tick;
+      ASSERT_LT(tick, 200u) << "migration failed to complete";
+
+      EXPECT_EQ(table.live_entries().size(), table.occupancy());
+      std::unordered_set<std::uint64_t> keys;
+      for (const auto* e : table.live_entries()) {
+        EXPECT_TRUE(keys.insert(e->key.hash()).second)
+            << "flow appears in both resize regions";
+      }
+      for (const std::uint32_t n : {0u, 1u, 250u, 500u, 999u}) {
+        const auto key2 = key_n(n);
+        EXPECT_TRUE(table.lookup(key2, key2.hash(seed)).has_value())
+            << "flow " << n << " lost at tick " << tick;
+      }
+    }
+    EXPECT_EQ(table.occupancy(), kFlows);
+    EXPECT_EQ(table.resize_stats().completed, 1u);
+    EXPECT_LE(table.resize_stats().max_op_slots,
+              WsafTable::kResizeMigrateSlotsPerOp);
+  }
+}
+
+// --- Fault injection -------------------------------------------------------
+
+TEST(WsafResize, InjectedAllocationFailureRollsBackAndKeepsServing) {
+  WsafTable table{table_config(WsafLayout::kScalarProbe, 10)};
+  const auto seed = table.config().seed;
+  for (std::uint32_t n = 0; n < 500; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 100 + n);
+  }
+  const auto slots_before = table.slot_count();
+
+  {
+    resilience::ScopedFaults faults{{"wsaf.resize.alloc_fail", {}}};
+    EXPECT_FALSE(table.begin_resize(11));
+  }
+  EXPECT_FALSE(table.resizing());
+  EXPECT_EQ(table.slot_count(), slots_before);
+  EXPECT_EQ(table.resize_stats().aborted, 1u);
+  EXPECT_EQ(table.resize_stats().started, 0u);
+
+  // The table keeps serving at its old capacity...
+  for (std::uint32_t n = 0; n < 500; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 1'000 + n);
+    ASSERT_TRUE(table.lookup(key, key.hash(seed)).has_value()) << n;
+  }
+  EXPECT_EQ(table.occupancy(), 500u);
+
+  // ...and a later, un-faulted attempt succeeds.
+  ASSERT_TRUE(table.begin_resize(11));
+  table.finish_resize();
+  EXPECT_EQ(table.slot_count(), std::size_t{1} << 11);
+  EXPECT_EQ(table.occupancy(), 500u);
+}
+
+TEST(WsafResize, MigrateStallIsCountedAndCannotWedgeCompletion) {
+  WsafTable table{table_config(WsafLayout::kScalarProbe, 10)};
+  const auto seed = table.config().seed;
+  for (std::uint32_t n = 0; n < 300; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 100 + n);
+  }
+  {
+    // Probability-1 stall: every amortized tick stalls instead of
+    // migrating, so the cursor cannot advance on the accumulate path.
+    resilience::ScopedFaults faults{{"wsaf.resize.migrate_stall", {}}};
+    ASSERT_TRUE(table.begin_resize(11));
+    for (std::uint32_t t = 0; t < 50; ++t) {
+      const auto key = key_n(t);
+      table.accumulate(key, key.hash(seed), 1.0, 64.0, 2'000 + t);
+    }
+    EXPECT_GT(table.resize_stats().migrate_stalls, 0u);
+    // finish_resize() drains through the fault-free core: completion must
+    // not depend on the fault ever clearing.
+    table.finish_resize();
+  }
+  EXPECT_FALSE(table.resizing());
+  EXPECT_EQ(table.occupancy(), 300u);
+  EXPECT_EQ(table.resize_stats().completed, 1u);
+  for (std::uint32_t n = 0; n < 300; ++n) {
+    const auto key = key_n(n);
+    EXPECT_TRUE(table.lookup(key, key.hash(seed)).has_value()) << n;
+  }
+}
+
+// --- Pressure-driven auto-grow ---------------------------------------------
+
+TEST(WsafResize, SustainedSaturationTriggersAutoGrowUpToTheCap) {
+  auto config = table_config(WsafLayout::kScalarProbe, 6);
+  config.grow_after_saturated_windows = 2;
+  config.max_log2_entries = 7;
+  WsafTable table{config};
+  const auto seed = config.seed;
+
+  // >90% occupancy of the 64-slot table, then enough accumulates to roll
+  // several pressure windows at saturation.
+  for (std::uint32_t n = 0; n < 60; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 100 + n);
+  }
+  ASSERT_EQ(table.occupancy(), 60u);
+  for (std::uint32_t t = 0; t < 4 * WsafTable::kPressureWindow; ++t) {
+    const auto key = key_n(t % 60);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 1'000 + t);
+  }
+  table.finish_resize();
+  EXPECT_EQ(table.slot_count(), std::size_t{1} << 7)
+      << "saturated pressure must have grown the table once";
+  EXPECT_GE(table.resize_stats().started, 1u);
+
+  // Still >70% of the doubled table but the cap is reached: more saturated
+  // windows must NOT grow past max_log2_entries.
+  for (std::uint32_t n = 60; n < 120; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 10'000 + n);
+  }
+  for (std::uint32_t t = 0; t < 4 * WsafTable::kPressureWindow; ++t) {
+    const auto key = key_n(t % 120);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 20'000 + t);
+  }
+  table.finish_resize();
+  EXPECT_EQ(table.slot_count(), std::size_t{1} << 7);
+}
+
+// --- Constructor validation (messages carry the offending values) ----------
+
+TEST(WsafResize, ConfigValidationNamesTheOffendingValues) {
+  {
+    auto config = table_config(WsafLayout::kScalarProbe, 10);
+    config.max_log2_entries = 8;  // below log2_entries
+    try {
+      WsafTable table{config};
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("max_log2_entries (8)"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("log2_entries (10)"), std::string::npos) << msg;
+    }
+  }
+  {
+    auto config = table_config(WsafLayout::kScalarProbe, 41);  // > kMax
+    try {
+      WsafTable table{config};
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("41"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// --- Snapshots of an in-flight resize --------------------------------------
+
+class WsafResizeSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("im_wsaf_resize_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(WsafResizeSnapshotTest, MidResizeSaveCompletesMigrationAtLoad) {
+  for (const auto layout : {WsafLayout::kScalarProbe, WsafLayout::kBucketed}) {
+    SCOPED_TRACE(to_string(layout));
+    WsafTable table{table_config(layout, 12)};
+    const auto seed = table.config().seed;
+    for (std::uint32_t n = 0; n < 800; ++n) {
+      const auto key = key_n(n);
+      table.accumulate(key, key.hash(seed),
+                       static_cast<double>(n % 9) + 1.0, 64.0, 100 + n);
+    }
+    ASSERT_TRUE(table.begin_resize(13));
+    // A handful of accumulates: some slots migrated, most still old.
+    for (std::uint32_t t = 0; t < 5; ++t) {
+      const auto key = key_n(t);
+      table.accumulate(key, key.hash(seed), 1.0, 64.0, 5'000 + t);
+    }
+    ASSERT_TRUE(table.resizing()) << "snapshot must capture an IN-FLIGHT resize";
+    table.save(path_);
+
+    const auto restored = WsafTable::load(path_);
+    EXPECT_FALSE(restored.resizing())
+        << "load completes the migration, never resumes it";
+    EXPECT_EQ(restored.config().log2_entries, 13u);
+    EXPECT_EQ(restored.occupancy(), table.occupancy());
+
+    // Logical equality against the donor once IT finishes migrating.
+    WsafTable drained = std::move(table);
+    drained.finish_resize();
+    const auto now = drained.latest_ns();
+    EXPECT_EQ(restored.latest_ns(), now);
+    EXPECT_EQ(logical_entries(restored, now), logical_entries(drained, now));
+  }
+}
+
+TEST_F(WsafResizeSnapshotTest, CorruptResizeMetadataIsRejected) {
+  WsafTable table{table_config(WsafLayout::kScalarProbe, 12)};
+  const auto seed = table.config().seed;
+  for (std::uint32_t n = 0; n < 400; ++n) {
+    const auto key = key_n(n);
+    table.accumulate(key, key.hash(seed), 1.0, 64.0, 100 + n);
+  }
+  ASSERT_TRUE(table.begin_resize(13));
+  table.save(path_);
+
+  // header.reserved (old region log2) at offset 20 claims the old region
+  // was NOT smaller than the new one: impossible for a grow, rejected.
+  {
+    std::fstream f{path_, std::ios::binary | std::ios::in | std::ios::out};
+    f.seekp(20);
+    const std::uint32_t bogus = 13;
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_THROW((void)WsafTable::load(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace instameasure::core
