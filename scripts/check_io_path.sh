@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the packet I/O plane (docs/IO.md): pktgen drives one
+# end of a veth pair, io_bench captures the other through the AF_PACKET
+# TPACKET_V3 ring, and the run FAILS if more than LOSS_PCT percent of the
+# sent packets are unaccounted for (delivered + kernel-dropped + skipped
+# vs sent — the SourceStats invariant, measured across a real kernel ring).
+#
+# Needs CAP_NET_ADMIN (to create the veth pair) + CAP_NET_RAW (to open the
+# sockets). Without them the script DEGRADES, not fails: it runs the
+# replay smoke plus the pktgen -> pcap -> io_bench round trip, so the
+# decode and accounting path is still exercised on unprivileged runners.
+#
+# Usage: scripts/check_io_path.sh
+#   BUILD=build COUNT=200000 RATE=0 LOSS_PCT=1 to override.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+COUNT=${COUNT:-200000}
+RATE=${RATE:-0}          # 0 = as fast as the sink accepts
+LOSS_PCT=${LOSS_PCT:-1}  # max unaccounted packets, percent of sent
+VETH_TX=im-ioveth0
+VETH_RX=im-ioveth1
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target pktgen io_bench >/dev/null
+
+workdir=$(mktemp -d)
+cleanup() {
+  rm -rf "$workdir"
+  ip link del "$VETH_TX" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# --- replay + pcap fallback path (runs everywhere) -----------------------
+run_fallback() {
+  echo "== io-path fallback: replay smoke + pktgen->pcap->io_bench =="
+  "$BUILD"/tools/io_bench --source replay --smoke \
+    --out "$workdir/BENCH_io_replay.json"
+  "$BUILD"/tools/pktgen --pcap-out "$workdir/gen.pcap" \
+    --count "$COUNT" --scale 0.01 --quiet
+  "$BUILD"/tools/io_bench --source pcap --pcap "$workdir/gen.pcap" \
+    --workers 2 --out "$workdir/BENCH_io_pcap.json"
+  python3 - "$workdir/BENCH_io_pcap.json" "$COUNT" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+io = doc["runs"][0]["io"]
+sent = int(sys.argv[2])
+accounted = io["received"] + io["kernel_dropped"] + io["skipped"]
+assert io["enabled"], "io block must be enabled for a source-driven run"
+assert accounted == sent, f"pcap path lost packets: {accounted} != {sent}"
+print(f"pcap round trip accounted for all {sent} packets "
+      f"({io['fragments']} fragments, {io['truncated']} truncated)")
+EOF
+}
+
+# --- live veth path (needs CAP_NET_ADMIN + CAP_NET_RAW) ------------------
+if ! ip link add "$VETH_TX" type veth peer name "$VETH_RX" 2>/dev/null; then
+  echo "cannot create veth pair (no CAP_NET_ADMIN?) — falling back"
+  run_fallback
+  exit 0
+fi
+ip link set "$VETH_TX" up
+ip link set "$VETH_RX" up
+
+echo "== io-path live: pktgen($VETH_TX) -> afpacket($VETH_RX) =="
+"$BUILD"/tools/io_bench --source afpacket --interface "$VETH_RX" \
+  --workers 2 --max-seconds 20 --packets "$COUNT" \
+  --out "$workdir/BENCH_io_live.json" &
+CAP_PID=$!
+sleep 1  # let the ring open before traffic flows
+
+if ! "$BUILD"/tools/pktgen --interface "$VETH_TX" --count "$COUNT" \
+    --rate "$RATE" --scale 0.01 --quiet; then
+  echo "pktgen cannot transmit (no CAP_NET_RAW?) — falling back"
+  kill "$CAP_PID" 2>/dev/null || true
+  wait "$CAP_PID" 2>/dev/null || true
+  run_fallback
+  exit 0
+fi
+wait "$CAP_PID"
+
+python3 - "$workdir/BENCH_io_live.json" "$COUNT" "$LOSS_PCT" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+io = doc["runs"][0]["io"]
+sent, loss_pct = int(sys.argv[2]), float(sys.argv[3])
+accounted = io["received"] + io["kernel_dropped"] + io["skipped"]
+# The veth may carry unrelated broadcast chatter (IPv6 RS, ARP): captured
+# frames can legitimately exceed `sent`, and non-IPv4 chatter lands in
+# `skipped`. The gate is on the SENT side: packets pktgen put on the wire
+# that the capture plane cannot account for.
+lost = max(0, sent - accounted)
+limit = sent * loss_pct / 100.0
+print(f"sent {sent}: received {io['received']}, "
+      f"kernel dropped {io['kernel_dropped']}, skipped {io['skipped']} "
+      f"-> {lost} unaccounted (limit {limit:.0f})")
+assert lost <= limit, (
+    f"io path lost {lost} of {sent} packets (> {loss_pct}%)")
+print("io path holds the loss gate")
+EOF

@@ -69,9 +69,10 @@ EOF
 # — required top-level keys, a non-empty run matrix, and per-run throughput
 # plus a perf block that is either real counters or explicit
 # "unavailable". v2 runs must additionally carry an accuracy object with an
-# explicit enabled flag and sane ARE/recall/precision ranges. The same
-# contract bench_trajectory self-checks; this re-validates the bytes that
-# actually landed on disk.
+# explicit enabled flag and sane ARE/recall/precision ranges; v3 runs add
+# a source tag and an io block that is live exactly for source-driven
+# runs. The same contract bench_trajectory self-checks; this re-validates
+# the bytes that actually landed on disk.
 bench_validate_trajectory() {
   python3 - "$1" <<'EOF'
 import json
@@ -81,7 +82,7 @@ path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
 version = doc["schema_version"]
-assert version in (1, 2), f"schema_version {version}"
+assert version in (1, 2, 3), f"schema_version {version}"
 for key in ("benchmark", "created_utc", "git_sha", "host", "config", "runs"):
     assert key in doc, f"missing key: {key}"
 assert doc["runs"], "empty run matrix"
@@ -101,6 +102,15 @@ for run in doc["runs"]:
             assert acc["are"] >= 0, f"negative ARE in {run['name']}"
             assert 0 <= acc["recall"] <= 1, f"recall out of range in {run['name']}"
             assert 0 <= acc["precision"] <= 1, f"precision out of range in {run['name']}"
+    if version >= 3:
+        assert run["source"] in ("direct", "replay", "pcap", "afpacket"), \
+            f"bad source tag in {run['name']}"
+        io = run["io"]
+        assert isinstance(io["enabled"], bool), "io.enabled not a bool"
+        assert (run["source"] == "direct") == (not io["enabled"]), \
+            f"io.enabled inconsistent with source in {run['name']}"
+        if io["enabled"]:
+            assert io["received"] > 0, f"io on but 0 received in {run['name']}"
 first = doc["runs"][0]
 audit = "off"
 if version >= 2 and first["accuracy"]["enabled"]:

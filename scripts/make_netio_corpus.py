@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Regenerate the netio decode-path corpus under tests/corpus/.
+
+Two savefiles exercising the decode-path hardening (fragment handling,
+total-length clamping, timestamp-fraction validation):
+
+  bad_cap_frac_overflow.pcap  -- a microsecond-magic file whose packet
+      header claims ts_usec = 3e9 (>= 1e6 is impossible); PcapReader must
+      throw, so pcap_topk exits nonzero (BadInput ctest entry).
+
+  ok_cap_fragments.pcap -- hostile-but-acceptable frames the decoder must
+      survive and repair, never crash on (GoodInput ctest entry): a plain
+      TCP packet, a non-first TCP fragment (port-0 continuation), a QinQ
+      double-tagged UDP packet, an oversized total-length UDP packet
+      (clamped + flagged), an undersized total-length packet, and a
+      truncated-L4 TCP packet (skipped, not fatal).
+
+Run from the repo root:  python3 scripts/make_netio_corpus.py
+"""
+
+import struct
+from pathlib import Path
+
+CORPUS = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+MAGIC_USEC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+
+def ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def frame(src_ip, dst_ip, sport, dport, proto, payload=b"", vlan_tags=(),
+          frag_offset=0, total_len=None, l4_bytes=None):
+    """Hand-build an Ethernet(+VLANs)/IPv4/L4 frame.
+
+    total_len overrides the IPv4 total-length field (to lie); l4_bytes
+    overrides the encoded L4 header (to truncate it); frag_offset is in
+    8-byte units (non-zero = non-first fragment, L4 header replaced by
+    opaque mid-stream payload bytes).
+    """
+    eth = bytes([0x02, 0x00]) + struct.pack(">I", dst_ip)
+    eth += bytes([0x02, 0x00]) + struct.pack(">I", src_ip)
+    for i, vid in enumerate(vlan_tags):
+        tpid = 0x88A8 if len(vlan_tags) == 2 and i == 0 else 0x8100
+        eth += struct.pack(">HH", tpid, vid & 0x0FFF)
+    eth += struct.pack(">H", 0x0800)
+
+    if l4_bytes is None:
+        if frag_offset:
+            l4_bytes = b"\xAB" * 8  # opaque continuation payload
+        elif proto == 6:
+            l4_bytes = struct.pack(">HHIIBBHHH", sport, dport, 0, 0,
+                                   0x50, 0x10, 0xFFFF, 0, 0)
+        elif proto == 17:
+            l4_bytes = struct.pack(">HHHH", sport, dport, 8 + len(payload), 0)
+        else:
+            l4_bytes = struct.pack(">BBHHH", 8, 0, 0, sport, dport)
+
+    real_total = 20 + len(l4_bytes) + len(payload)
+    claimed = real_total if total_len is None else total_len
+    ip = struct.pack(">BBHHHBBH", 0x45, 0, claimed, 0,
+                     frag_offset & 0x1FFF, 64, proto, 0)
+    ip += struct.pack(">II", src_ip, dst_ip)
+    ip = ip[:10] + struct.pack(">H", ipv4_checksum(ip)) + ip[12:]
+    return eth + ip + l4_bytes + payload
+
+
+def write_pcap(path: Path, packets, bad_frac=None):
+    with path.open("wb") as out:
+        out.write(struct.pack("<IHHiIII", MAGIC_USEC, 2, 4, 0, 0, 65535,
+                              LINKTYPE_ETHERNET))
+        for i, data in enumerate(packets):
+            frac = bad_frac if bad_frac is not None else (i * 100) % 1_000_000
+            out.write(struct.pack("<IIII", i, frac, len(data), len(data)))
+            out.write(data)
+    print(f"wrote {path} ({len(packets)} packets)")
+
+
+def main():
+    # One perfectly ordinary packet under an impossible timestamp fraction.
+    write_pcap(CORPUS / "bad_cap_frac_overflow.pcap",
+               [frame(0x0A000001, 0x0A000002, 1234, 80, 6, b"x" * 16)],
+               bad_frac=3_000_000_000)
+
+    hostile = [
+        # Baseline valid TCP packet.
+        frame(0x0A000001, 0x0A000002, 1234, 80, 6, b"x" * 32),
+        # Non-first TCP fragment: no L4 header, must become a port-0
+        # continuation record (the old decoder read payload as ports).
+        frame(0x0A000001, 0x0A000002, 1234, 80, 6, b"y" * 32,
+              frag_offset=185),
+        # QinQ double-tagged UDP: decoder walks both tags.
+        frame(0x0A000003, 0x0A000004, 5353, 5353, 17, b"z" * 16,
+              vlan_tags=(100, 200)),
+        # Oversized total length (0xFFFF): must be clamped to the capture,
+        # not trusted into downstream byte accounting.
+        frame(0x0A000005, 0x0A000006, 4000, 53, 17, b"w" * 24,
+              total_len=0xFFFF),
+        # Undersized total length (< IPv4 header): clamped up to the header.
+        frame(0x0A000007, 0x0A000008, 4001, 53, 17, b"v" * 24, total_len=5),
+        # Truncated L4: TCP claimed but only 4 bytes follow the IP header —
+        # skipped (not decodable), never a crash.
+        frame(0x0A000009, 0x0A00000A, 0, 0, 6, l4_bytes=b"\x01\x02\x03\x04"),
+    ]
+    write_pcap(CORPUS / "ok_cap_fragments.pcap", hostile)
+
+
+if __name__ == "__main__":
+    main()

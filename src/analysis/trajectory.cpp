@@ -182,15 +182,16 @@ struct Parser {
           std::string key;
           if (!string(&key)) return false;
           const bool is_accuracy = key == "accuracy";
+          const bool is_io = key == "io";
           if (depth == 0) root_keys.push_back(std::move(key));
           skip_ws();
           if (pos >= in.size() || in[pos] != ':') return fail("expected ':'");
           ++pos;
-          if (is_accuracy && depth > 0) {
-            // A run's accuracy block (schema v2) must be an object with the
-            // required members — a corrupt section is a validation error,
-            // not merely odd data.
-            if (!accuracy_block(depth + 1)) return false;
+          if ((is_accuracy || is_io) && depth > 0) {
+            // A run's accuracy block (schema v2) / io block (schema v3)
+            // must be an object with the required members — a corrupt
+            // section is a validation error, not merely odd data.
+            if (!keyed_block(depth + 1, is_io)) return false;
           } else if (!value(depth + 1)) {
             return false;
           }
@@ -240,12 +241,13 @@ struct Parser {
     }
   }
 
-  /// Parse one `accuracy` member value: must be an object and must carry
-  /// the v2 accuracy keys (extra keys are fine — forward compatible).
-  [[nodiscard]] bool accuracy_block(int depth) {
+  /// Parse one `accuracy` (v2) or `io` (v3) member value: must be an
+  /// object and must carry that block's required keys (extra keys are
+  /// fine — forward compatible).
+  [[nodiscard]] bool keyed_block(int depth, bool io) {
     skip_ws();
     if (pos >= in.size() || in[pos] != '{') {
-      return fail("accuracy is not an object");
+      return fail(io ? "io is not an object" : "accuracy is not an object");
     }
     ++pos;
     std::vector<std::string> keys;
@@ -274,9 +276,15 @@ struct Parser {
         return fail("expected ',' or '}'");
       }
     }
-    for (const char* want :
-         {"enabled", "sampled_flows", "comparisons", "are", "recall",
-          "precision"}) {
+    static constexpr const char* kAccuracyKeys[] = {
+        "enabled", "sampled_flows", "comparisons", "are", "recall",
+        "precision"};
+    static constexpr const char* kIoKeys[] = {
+        "enabled", "received", "kernel_dropped", "skipped"};
+    const std::span<const char* const> want_keys =
+        io ? std::span<const char* const>{kIoKeys}
+           : std::span<const char* const>{kAccuracyKeys};
+    for (const char* want : want_keys) {
       bool found = false;
       for (const auto& k : keys) {
         if (k == want) {
@@ -285,15 +293,17 @@ struct Parser {
         }
       }
       if (!found) {
-        err = std::string{"accuracy block missing key: "} + want;
+        err = std::string{io ? "io" : "accuracy"} +
+              " block missing key: " + want;
         return false;
       }
     }
-    ++accuracy_blocks;
+    ++(io ? io_blocks : accuracy_blocks);
     return true;
   }
 
   std::size_t accuracy_blocks = 0;  ///< accuracy members validated
+  std::size_t io_blocks = 0;        ///< io members validated
 };
 
 }  // namespace
@@ -386,6 +396,8 @@ std::string build_trajectory_json(const TrajectoryMeta& meta,
     append_quoted(out, run.name);
     out += ", \"mode\": ";
     append_quoted(out, run.mode);
+    out += ", \"source\": ";
+    append_quoted(out, run.source);
     out += ", \"batch\": ";
     append_u64(out, run.batch);
     out += ", \"packets\": ";
@@ -464,6 +476,23 @@ std::string build_trajectory_json(const TrajectoryMeta& meta,
     out += ", \"shed_compensation\": ";
     append_u64(out, run.accuracy.cause_shed_compensation);
     out += "}}";
+    out += ",\n     \"io\": {\"enabled\": ";
+    out += run.io.enabled ? "true" : "false";
+    out += ", \"received\": ";
+    append_u64(out, run.io.received);
+    out += ", \"kernel_dropped\": ";
+    append_u64(out, run.io.kernel_dropped);
+    out += ", \"skipped\": ";
+    append_u64(out, run.io.skipped);
+    out += ",\n       \"fragments\": ";
+    append_u64(out, run.io.fragments);
+    out += ", \"truncated\": ";
+    append_u64(out, run.io.truncated);
+    out += ", \"bursts\": ";
+    append_u64(out, run.io.bursts);
+    out += ", \"wait_cycles\": ";
+    append_u64(out, run.io.wait_cycles);
+    out += "}";
     out += "}";  // close run
   }
   out += "\n  ]\n}\n";

@@ -30,8 +30,12 @@ namespace instameasure::analysis {
 /// Bump on any breaking change to the document layout. Consumers must
 /// check this before comparing documents across commits. v2 added the
 /// per-run `accuracy` block (live audit-plane ARE/recall beside Mpps);
-/// the validator still accepts v1 documents, which simply lack it.
-inline constexpr int kTrajectorySchemaVersion = 2;
+/// v3 added the per-run `source` tag and `io` block (capture-plane
+/// accounting: kernel drops, undecodable frames, fragment/truncation
+/// repairs) so socket-fed BENCH points are distinguishable from replay
+/// ones. The validator still accepts v1/v2 documents, which simply lack
+/// the newer sections.
+inline constexpr int kTrajectorySchemaVersion = 3;
 
 /// Schema versions validate_trajectory_json accepts.
 inline constexpr int kTrajectoryMinSchemaVersion = 1;
@@ -67,10 +71,27 @@ struct TrajectoryAccuracy {
   std::uint64_t cause_shed_compensation = 0;
 };
 
+/// Capture-plane accounting of one run (schema v3): mirrors
+/// netio::SourceStats so a BENCH point records how the packets reached the
+/// engine, not just how fast they were processed. enabled=false (direct
+/// in-memory feed, the pre-v3 workloads) serializes as an explicit
+/// disabled block, never silent zeros.
+struct TrajectoryIo {
+  bool enabled = false;
+  std::uint64_t received = 0;        ///< records the source delivered
+  std::uint64_t kernel_dropped = 0;  ///< lost upstream (AF_PACKET ring)
+  std::uint64_t skipped = 0;         ///< frames seen but not decodable
+  std::uint64_t fragments = 0;       ///< port-0 fragment continuations
+  std::uint64_t truncated = 0;       ///< records with clamped total length
+  std::uint64_t bursts = 0;          ///< next_burst calls that delivered
+  std::uint64_t wait_cycles = 0;     ///< empty polls / pacing waits
+};
+
 /// One cell of the workload matrix.
 struct TrajectoryRun {
   std::string name;        ///< "scalar", "batch8", "batch32", "batch64"
   std::string mode;        ///< "scalar" | "batch"
+  std::string source = "direct";  ///< "direct" | "replay" | "pcap" | "afpacket"
   std::size_t batch = 0;   ///< span length per process_batch call; 0 scalar
   std::uint64_t packets = 0;  ///< packets in the timed region
   double elapsed_s = 0;
@@ -89,6 +110,9 @@ struct TrajectoryRun {
 
   /// Live audit-plane summary (schema v2).
   TrajectoryAccuracy accuracy;
+
+  /// Capture-plane accounting (schema v3).
+  TrajectoryIo io;
 };
 
 struct TrajectoryHost {
@@ -131,8 +155,10 @@ struct TrajectoryMeta {
 /// [kTrajectoryMinSchemaVersion, kTrajectorySchemaVersion] and the
 /// required top-level keys (benchmark, created_utc, git_sha, host,
 /// config, runs). Every `accuracy` member (v2 runs; absent in v1) must be
-/// an object carrying the required accuracy keys — a corrupt accuracy
-/// section fails validation even when the JSON itself is well formed. On
+/// an object carrying the required accuracy keys, and every `io` member
+/// (v3 runs) an object carrying the required capture-plane keys — a
+/// corrupt section fails validation even when the JSON itself is well
+/// formed. On
 /// failure returns false and, when `error` is non-null, a one-line
 /// reason. This is the same check the emitted-file tests and
 /// scripts/run_bench_trajectory.sh apply.

@@ -1,0 +1,298 @@
+#include "netio/afpacket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "netio/codec.h"
+
+#if defined(__linux__)
+
+#include <arpa/inet.h>
+#include <linux/if_ether.h>
+#include <linux/if_packet.h>
+#include <net/if.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace instameasure::netio {
+
+namespace {
+
+[[nodiscard]] std::string errno_detail(const char* what) {
+  return std::string{what} + ": " + std::strerror(errno) +
+         " (errno " + std::to_string(errno) + ")";
+}
+
+/// V3 block header accessor (the kernel's tpacket_hdr_v1 lives inside the
+/// block descriptor union).
+[[nodiscard]] tpacket_hdr_v1* block_header(std::uint8_t* block) noexcept {
+  return &reinterpret_cast<tpacket_block_desc*>(block)->hdr.bh1;
+}
+
+}  // namespace
+
+AfPacketSource::AfPacketSource(const AfPacketConfig& config)
+    : config_(config) {
+  // Frame/block geometry sanity: the kernel rejects unaligned or
+  // non-divisible geometries with EINVAL, which would read as a privilege
+  // problem; validate the obvious constraints up front with a clear error.
+  if (config_.block_size == 0 || config_.block_count == 0 ||
+      config_.frame_size < 128 ||
+      config_.block_size % config_.frame_size != 0) {
+    error_ = "AfPacketSource: invalid ring geometry (block_size must be a "
+             "multiple of frame_size >= 128)";
+    return;
+  }
+  fd_ = ::socket(AF_PACKET, SOCK_RAW, htons(ETH_P_ALL));
+  if (fd_ < 0) {
+    // EPERM/EACCES: no CAP_NET_RAW — the documented degradation path.
+    error_ = errno_detail("socket(AF_PACKET)");
+    return;
+  }
+  const int version = TPACKET_V3;
+  if (::setsockopt(fd_, SOL_PACKET, PACKET_VERSION, &version,
+                   sizeof version) != 0) {
+    fail("setsockopt(PACKET_VERSION)");
+    return;
+  }
+  tpacket_req3 req{};
+  req.tp_block_size = static_cast<unsigned>(config_.block_size);
+  req.tp_block_nr = static_cast<unsigned>(config_.block_count);
+  req.tp_frame_size = static_cast<unsigned>(config_.frame_size);
+  req.tp_frame_nr = static_cast<unsigned>(
+      config_.block_size / config_.frame_size * config_.block_count);
+  req.tp_retire_blk_tov = config_.block_timeout_ms;
+  if (::setsockopt(fd_, SOL_PACKET, PACKET_RX_RING, &req, sizeof req) != 0) {
+    fail("setsockopt(PACKET_RX_RING)");
+    return;
+  }
+  ring_bytes_ = config_.block_size * config_.block_count;
+  void* map = ::mmap(nullptr, ring_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_LOCKED, fd_, 0);
+  if (map == MAP_FAILED) {
+    // MAP_LOCKED can exceed RLIMIT_MEMLOCK in containers; retry unlocked
+    // (slower under memory pressure but functionally identical).
+    map = ::mmap(nullptr, ring_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                 fd_, 0);
+  }
+  if (map == MAP_FAILED) {
+    ring_bytes_ = 0;
+    fail("mmap(rx ring)");
+    return;
+  }
+  ring_ = static_cast<std::uint8_t*>(map);
+
+  const unsigned ifindex = ::if_nametoindex(config_.interface.c_str());
+  if (ifindex == 0) {
+    fail("if_nametoindex");
+    return;
+  }
+  sockaddr_ll addr{};
+  addr.sll_family = AF_PACKET;
+  addr.sll_protocol = htons(ETH_P_ALL);
+  addr.sll_ifindex = static_cast<int>(ifindex);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    fail("bind");
+    return;
+  }
+  if (config_.promiscuous) {
+    packet_mreq mreq{};
+    mreq.mr_ifindex = static_cast<int>(ifindex);
+    mreq.mr_type = PACKET_MR_PROMISC;
+    if (::setsockopt(fd_, SOL_PACKET, PACKET_ADD_MEMBERSHIP, &mreq,
+                     sizeof mreq) != 0) {
+      fail("setsockopt(PACKET_MR_PROMISC)");
+      return;
+    }
+  }
+}
+
+AfPacketSource::~AfPacketSource() { close(); }
+
+void AfPacketSource::fail(const char* what) noexcept {
+  error_ = errno_detail(what);
+  close();
+}
+
+void AfPacketSource::close() noexcept {
+  if (ring_ != nullptr) {
+    ::munmap(ring_, ring_bytes_);
+    ring_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::size_t AfPacketSource::next_burst(std::span<PacketRecord> out) {
+  if (fd_ < 0 || out.empty()) return 0;
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    if (pkts_left_ == 0) {
+      // Move to the next retired block, or wait (bounded) for one.
+      std::uint8_t* block = ring_ + block_ * config_.block_size;
+      auto* hdr = block_header(block);
+      if ((__atomic_load_n(&hdr->block_status, __ATOMIC_ACQUIRE) &
+           TP_STATUS_USER) == 0) {
+        if (filled > 0) break;  // deliver what we have before sleeping
+        pollfd pfd{fd_, POLLIN | POLLERR, 0};
+        ++stats_.wait_cycles;
+        if (::poll(&pfd, 1, config_.poll_timeout_ms) <= 0) break;
+        continue;
+      }
+      pkts_left_ = hdr->num_pkts;
+      pkt_ = block + hdr->offset_to_first_pkt;
+      if (pkts_left_ == 0) {
+        // Timeout-retired empty block: hand it straight back.
+        __atomic_store_n(&hdr->block_status, TP_STATUS_KERNEL,
+                         __ATOMIC_RELEASE);
+        block_ = (block_ + 1) % config_.block_count;
+        continue;
+      }
+    }
+    while (pkts_left_ > 0 && filled < out.size()) {
+      const auto* tp = reinterpret_cast<const tpacket3_hdr*>(pkt_);
+      // The per-packet sockaddr_ll follows the V3 header; it tells us the
+      // direction, so a veth/loopback consumer can ignore its own TX.
+      const auto* sll = reinterpret_cast<const sockaddr_ll*>(
+          pkt_ + TPACKET_ALIGN(sizeof(tpacket3_hdr)));
+      const bool outgoing = sll->sll_pkttype == PACKET_OUTGOING;
+      if (outgoing && !config_.capture_outgoing) {
+        ++stats_.skipped;
+      } else {
+        const auto frame = std::span<const std::byte>{
+            reinterpret_cast<const std::byte*>(pkt_ + tp->tp_mac),
+            tp->tp_snaplen};
+        if (const auto parsed = decode_frame(frame)) {
+          PacketRecord rec;
+          rec.timestamp_ns =
+              static_cast<std::uint64_t>(tp->tp_sec) * 1'000'000'000ULL +
+              tp->tp_nsec;
+          rec.key = parsed->key;
+          rec.wire_len = static_cast<std::uint16_t>(
+              std::min<std::uint32_t>(tp->tp_len, 0xffff));
+          out[filled++] = rec;
+          ++stats_.received;
+          if (parsed->fragment) ++stats_.fragments;
+          if (parsed->truncated) ++stats_.truncated;
+        } else {
+          ++stats_.skipped;
+        }
+      }
+      --pkts_left_;
+      if (pkts_left_ > 0) {
+        pkt_ += tp->tp_next_offset;
+      } else {
+        // Block fully consumed: release it to the kernel and advance.
+        std::uint8_t* block = ring_ + block_ * config_.block_size;
+        __atomic_store_n(&block_header(block)->block_status,
+                         TP_STATUS_KERNEL, __ATOMIC_RELEASE);
+        block_ = (block_ + 1) % config_.block_count;
+      }
+    }
+    if (pkts_left_ > 0) break;  // burst span full mid-block
+  }
+  if (filled > 0) ++stats_.bursts;
+  return filled;
+}
+
+void AfPacketSource::drain_kernel_drops() const noexcept {
+  if (fd_ < 0) return;
+  tpacket_stats_v3 st{};
+  socklen_t len = sizeof st;
+  // Reading PACKET_STATISTICS resets the kernel counters, so accumulate.
+  if (::getsockopt(fd_, SOL_PACKET, PACKET_STATISTICS, &st, &len) == 0) {
+    stats_.dropped += st.tp_drops;
+  }
+}
+
+SourceStats AfPacketSource::stats() const noexcept {
+  drain_kernel_drops();
+  return stats_;
+}
+
+AfPacketSink::AfPacketSink(const std::string& interface) {
+  fd_ = ::socket(AF_PACKET, SOCK_RAW, 0);
+  if (fd_ < 0) {
+    error_ = errno_detail("socket(AF_PACKET)");
+    return;
+  }
+  const unsigned ifindex = ::if_nametoindex(interface.c_str());
+  if (ifindex == 0) {
+    error_ = errno_detail("if_nametoindex");
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  sockaddr_ll addr{};
+  addr.sll_family = AF_PACKET;
+  addr.sll_ifindex = static_cast<int>(ifindex);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    error_ = errno_detail("bind");
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+AfPacketSink::~AfPacketSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool AfPacketSink::send(std::span<const std::byte> frame) noexcept {
+  if (fd_ < 0) {
+    ++failures_;
+    return false;
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto n = ::send(fd_, frame.data(), frame.size(), 0);
+    if (n == static_cast<ssize_t>(frame.size())) {
+      ++sent_;
+      return true;
+    }
+    if (n < 0 && (errno == ENOBUFS || errno == EAGAIN || errno == EINTR)) {
+      // Qdisc backpressure: the whole point of a line-rate generator is to
+      // find this edge; yield briefly and retry before counting a failure.
+      pollfd pfd{fd_, POLLOUT, 0};
+      ::poll(&pfd, 1, 1);
+      continue;
+    }
+    break;
+  }
+  ++failures_;
+  return false;
+}
+
+}  // namespace instameasure::netio
+
+#else  // !defined(__linux__)
+
+namespace instameasure::netio {
+
+AfPacketSource::AfPacketSource(const AfPacketConfig& config)
+    : config_(config) {
+  error_ = "AF_PACKET is Linux-only (unavailable on this host)";
+}
+AfPacketSource::~AfPacketSource() = default;
+void AfPacketSource::fail(const char*) noexcept {}
+void AfPacketSource::close() noexcept {}
+void AfPacketSource::drain_kernel_drops() const noexcept {}
+std::size_t AfPacketSource::next_burst(std::span<PacketRecord>) { return 0; }
+SourceStats AfPacketSource::stats() const noexcept { return stats_; }
+
+AfPacketSink::AfPacketSink(const std::string&) {
+  error_ = "AF_PACKET is Linux-only (unavailable on this host)";
+}
+AfPacketSink::~AfPacketSink() = default;
+bool AfPacketSink::send(std::span<const std::byte>) noexcept {
+  ++failures_;
+  return false;
+}
+
+}  // namespace instameasure::netio
+
+#endif

@@ -1,0 +1,114 @@
+// AF_PACKET / TPACKET_V3 mmap-ring capture backend + raw-frame TX sink.
+//
+// This is the live end of the PacketSource seam (netio/source.h): the
+// kernel DMA-fills a ring of large blocks shared with user space, the
+// source walks each retired block packet-by-packet (decode_frame → burst
+// span) and releases it back in one store — block-oriented RX amortizes
+// the syscall cost to ~one poll() per block, the property that lets
+// AF_PACKET ingest run at millions of packets per second.
+//
+// Graceful degradation is the same contract as the perf-counter layer:
+// opening an AF_PACKET socket needs CAP_NET_RAW, so in an unprivileged
+// container the constructor does NOT throw — available() turns false and
+// error() carries the errno detail, next_burst never delivers, and
+// exhausted() is immediately true so consumer loops terminate. Callers
+// (tests, the io-smoke CI job) skip cleanly instead of failing.
+//
+// Drop accounting: the kernel counts frames it could not place in the ring
+// in tpacket_stats_v3; stats() drains that counter into SourceStats::dropped
+// so `received + dropped + skipped` always equals what the port saw.
+//
+// Non-Linux hosts compile a stub whose constructor reports "unavailable"
+// (the syscall surface does not exist there).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "netio/source.h"
+
+namespace instameasure::netio {
+
+struct AfPacketConfig {
+  std::string interface;       ///< e.g. "eth0", "veth-im0", "lo"
+  std::size_t block_size = 1u << 22;  ///< bytes per ring block (4 MB)
+  std::size_t block_count = 64;       ///< blocks in the ring (256 MB total)
+  std::size_t frame_size = 2048;      ///< ring slot granularity
+  unsigned block_timeout_ms = 10;     ///< kernel retires partial blocks after
+  int poll_timeout_ms = 50;           ///< next_burst's bounded wait
+  bool promiscuous = false;           ///< PACKET_MR_PROMISC on the port
+  /// Capture frames this host transmits on the interface too. Off by
+  /// default: a veth/mirror consumer wants the RX direction only, and on
+  /// loopback keeping it off halves the duplicate delivery.
+  bool capture_outgoing = false;
+};
+
+class AfPacketSource final : public PacketSource {
+ public:
+  /// Never throws on privilege/interface errors — check available().
+  explicit AfPacketSource(const AfPacketConfig& config);
+  ~AfPacketSource() override;
+
+  AfPacketSource(const AfPacketSource&) = delete;
+  AfPacketSource& operator=(const AfPacketSource&) = delete;
+
+  /// False when the ring could not be set up (no CAP_NET_RAW, unknown
+  /// interface, non-Linux host); error() says why.
+  [[nodiscard]] bool available() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] std::size_t next_burst(std::span<PacketRecord> out) override;
+  [[nodiscard]] bool exhausted() const noexcept override { return fd_ < 0; }
+  /// Includes the kernel's ring-drop counter, drained on every call.
+  [[nodiscard]] SourceStats stats() const noexcept override;
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "afpacket";
+  }
+
+ private:
+  void fail(const char* what) noexcept;
+  void close() noexcept;
+  void drain_kernel_drops() const noexcept;
+
+  AfPacketConfig config_;
+  int fd_ = -1;
+  std::uint8_t* ring_ = nullptr;
+  std::size_t ring_bytes_ = 0;
+  std::size_t block_ = 0;        ///< next block index to inspect
+  const std::uint8_t* pkt_ = nullptr;  ///< cursor within the current block
+  std::uint32_t pkts_left_ = 0;  ///< packets remaining in the current block
+  std::string error_;
+  mutable SourceStats stats_{};
+};
+
+/// Raw-frame transmitter (pktgen's AF_PACKET output). Same degradation
+/// contract as the source: construction never throws on privilege errors.
+class AfPacketSink {
+ public:
+  explicit AfPacketSink(const std::string& interface);
+  ~AfPacketSink();
+
+  AfPacketSink(const AfPacketSink&) = delete;
+  AfPacketSink& operator=(const AfPacketSink&) = delete;
+
+  [[nodiscard]] bool available() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Transmit one Ethernet frame. Returns false on failure (counted);
+  /// ENOBUFS/EAGAIN backpressure is retried briefly before counting.
+  bool send(std::span<const std::byte> frame) noexcept;
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t send_failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t failures_ = 0;
+  std::string error_;
+};
+
+}  // namespace instameasure::netio

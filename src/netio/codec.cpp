@@ -154,13 +154,44 @@ std::optional<ParsedPacket> decode_frame(
   if (ihl < kIpv4MinHeaderLen || ip.size() < ihl) return std::nullopt;
 
   ParsedPacket out;
-  out.ip_total_len = get_u16(ip, 2);
   out.frame_len = static_cast<std::uint16_t>(frame.size());
   out.key.proto = std::to_integer<std::uint8_t>(ip[9]);
   out.key.src_ip = get_u32(ip, 12);
   out.key.dst_ip = get_u32(ip, 16);
 
+  // Total length: the field is attacker-controlled and captures can be cut
+  // short, so clamp into [IHL, bytes captured from the IP header on] —
+  // never smaller than the header it claims to include, never beyond what
+  // was actually on the wire in this capture.
+  const std::uint16_t claimed_total = get_u16(ip, 2);
+  const auto capture_cap = static_cast<std::uint16_t>(
+      std::min<std::size_t>(ip.size(), 0xffff));
+  out.ip_total_len = std::clamp(claimed_total, static_cast<std::uint16_t>(ihl),
+                                capture_cap);
+  out.truncated = out.ip_total_len != claimed_total;
+
   const auto proto = static_cast<IpProto>(out.key.proto);
+
+  // Fragmentation: only the first fragment (offset 0) carries the L4
+  // header. A non-first fragment's payload starts mid-stream — parsing its
+  // first bytes as ports would shatter one flow into many keys — so it is
+  // accepted as a port-0 continuation of the src/dst/proto aggregate.
+  const std::uint16_t frag_offset = get_u16(ip, 6) & 0x1fff;
+  if (frag_offset != 0) {
+    switch (proto) {
+      case IpProto::kTcp:
+      case IpProto::kUdp:
+      case IpProto::kIcmp:
+        break;
+      default:
+        return std::nullopt;  // measurement plane only tracks TCP/UDP/ICMP
+    }
+    out.fragment = true;
+    out.key.src_port = 0;
+    out.key.dst_port = 0;
+    return out;
+  }
+
   const auto l4 = ip.subspan(ihl);
   switch (proto) {
     case IpProto::kTcp:

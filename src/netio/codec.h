@@ -34,8 +34,19 @@ inline constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;   ///< 802.1ad outer
 /// Result of parsing one Ethernet frame down to L4.
 struct ParsedPacket {
   FlowKey key;
-  std::uint16_t ip_total_len = 0;  ///< IPv4 total length field
+  std::uint16_t ip_total_len = 0;  ///< IPv4 total length, clamped to sanity
   std::uint16_t frame_len = 0;     ///< full frame length including Ethernet
+  /// Non-first IPv4 fragment (fragment offset != 0). Such packets carry no
+  /// L4 header — their first payload bytes are NOT ports — so the key uses
+  /// port 0/0: the fragment counts against the same src/dst/proto
+  /// aggregate regardless of which flow's segment it continues, instead of
+  /// shattering one flow into many garbage-port keys.
+  bool fragment = false;
+  /// The IPv4 total-length field was implausible (smaller than the header
+  /// or larger than the captured bytes) and ip_total_len above has been
+  /// clamped into [IHL, bytes captured from the IP header on]. Corrupt or
+  /// hostile frames would otherwise inflate byte counts downstream.
+  bool truncated = false;
 };
 
 /// Internet checksum (RFC 1071) over a byte span.
@@ -53,7 +64,9 @@ struct ParsedPacket {
 /// Parse an Ethernet frame, skipping up to two VLAN tags (802.1Q single or
 /// QinQ double tagging). Returns nullopt for non-IPv4, truncated, or
 /// unsupported-protocol frames (the measurement plane skips those, as the
-/// paper's DPDK pipeline does for non-IP traffic).
+/// paper's DPDK pipeline does for non-IP traffic). Non-first IPv4 fragments
+/// are accepted as port-0 continuations (`fragment` set) and implausible
+/// total-length fields are clamped (`truncated` set) — see ParsedPacket.
 [[nodiscard]] std::optional<ParsedPacket> decode_frame(
     std::span<const std::byte> frame) noexcept;
 

@@ -101,6 +101,15 @@ std::optional<PcapPacket> PcapReader::next() {
   }
   PcapPacket pkt;
   const std::uint64_t frac = hdr[1];
+  // The fraction field must be a sub-second value. A microsecond file with
+  // frac >= 1e6 (or nanosecond with frac >= 1e9) would produce
+  // non-monotonic garbage timestamps that poison idle-timeout sweeps and
+  // pacing downstream — reject the file rather than propagate them.
+  if (frac >= (nsec_ ? 1'000'000'000ULL : 1'000'000ULL)) {
+    throw std::runtime_error(
+        "PcapReader: timestamp fraction out of range (" +
+        std::to_string(frac) + (nsec_ ? " ns" : " us") + ")");
+  }
   pkt.timestamp_ns =
       static_cast<std::uint64_t>(hdr[0]) * 1'000'000'000ULL +
       (nsec_ ? frac : frac * 1'000ULL);
@@ -128,6 +137,8 @@ std::optional<PacketRecord> PcapReader::next_record() {
       ++skipped_;
       continue;
     }
+    if (parsed->fragment) ++fragments_;
+    if (parsed->truncated) ++truncated_;
     PacketRecord rec;
     rec.timestamp_ns = pkt->timestamp_ns;
     rec.key = parsed->key;

@@ -73,6 +73,10 @@ class PcapReader {
 
   [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
   [[nodiscard]] std::uint64_t skipped() const noexcept { return skipped_; }
+  /// Accepted non-first IPv4 fragments (port-0 continuation records).
+  [[nodiscard]] std::uint64_t fragments() const noexcept { return fragments_; }
+  /// Accepted frames whose IPv4 total length had to be clamped.
+  [[nodiscard]] std::uint64_t truncated() const noexcept { return truncated_; }
 
  private:
   std::ifstream in_;
@@ -80,6 +84,8 @@ class PcapReader {
   bool nsec_ = false;
   std::uint32_t snaplen_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t fragments_ = 0;
+  std::uint64_t truncated_ = 0;
 };
 
 /// Load an entire pcap file as PacketRecords (convenience for tests/benches).

@@ -157,6 +157,28 @@ MultiCoreEngine::MultiCoreEngine(const MultiCoreConfig& config)
       "im_runtime_wsaf_pressure_level",
       "Worst per-worker WSAF pressure level (0 nominal, 1 elevated, "
       "2 saturated)");
+  tel_io_received_ = registry_->counter(
+      "im_io_received_total",
+      "Records delivered by the packet source (run_source mode)");
+  tel_io_kernel_dropped_ = registry_->counter(
+      "im_io_kernel_dropped_total",
+      "Frames the kernel dropped before delivery (AF_PACKET ring overruns)");
+  tel_io_skipped_ = registry_->counter(
+      "im_io_skipped_total",
+      "Frames the source saw but could not decode to a record");
+  tel_io_fragments_ = registry_->counter(
+      "im_io_fragments_total",
+      "Delivered non-first IPv4 fragments (port-0 continuation records)");
+  tel_io_truncated_ = registry_->counter(
+      "im_io_truncated_total",
+      "Delivered records whose IPv4 total length had to be clamped");
+  tel_io_bursts_ = registry_->counter(
+      "im_io_bursts_total", "Non-empty bursts pulled from the packet source");
+  tel_io_wait_cycles_ = registry_->counter(
+      "im_io_wait_cycles_total",
+      "Empty polls / pacing waits while pulling from the packet source");
+  tel_io_mpps_ = registry_->gauge(
+      "im_io_mpps", "Delivered throughput of the last run_source call");
 
   if (config.enable_query_plane) {
     std::vector<const core::SnapshotChannel*> channels;
@@ -694,6 +716,298 @@ RunStats MultiCoreEngine::run(const trace::Trace& trace, double pace_pps) {
                    : 0.0;
   tel_runs_.inc();
   tel_mpps_.set(stats.mpps);
+  tel_wall_seconds_.add(stats.wall_seconds);
+  return stats;
+}
+
+RunStats MultiCoreEngine::run_source(netio::PacketSource& source,
+                                     const SourceRunConfig& config) {
+  const unsigned n = workers();
+  const OverloadConfig& ov = config_.overload;
+  if (ov.policy == OverloadPolicy::kShed) {
+    throw std::invalid_argument(
+        "MultiCoreEngine::run_source: kShed is not supported in "
+        "source-driven mode (the ladder's weight compensation assumes "
+        "replayable packets); use kBlock or kDropTail");
+  }
+  // Source mode queues carry records BY VALUE: unlike run(), whose items
+  // point into a caller-owned trace, a live burst buffer is reused on the
+  // very next pull, so the one copy happens here, into the worker ring —
+  // never into an intermediate PacketVector.
+  std::vector<std::unique_ptr<SpscQueue<netio::PacketRecord>>> queues;
+  queues.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    queues.push_back(std::make_unique<SpscQueue<netio::PacketRecord>>(
+        config_.queue_capacity));
+  }
+
+  std::atomic<bool> done{false};
+  RunStats stats;
+  stats.source = source.kind();
+  stats.per_worker_packets.assign(n, 0);
+  stats.per_worker_dropped.assign(n, 0);
+  stats.per_worker_steals.assign(n, 0);
+  stats.max_queue_depth.assign(n, 0);
+  stats.worker_busy_fraction.assign(n, 0);
+
+  std::vector<std::uint64_t> packets0(n, 0), busy0(n, 0), idle0(n, 0),
+      dropped0(n, 0);
+  for (unsigned w = 0; w < n; ++w) {
+    packets0[w] = tel_worker_packets_[w].value();
+    busy0[w] = tel_busy_polls_[w].value();
+    idle0[w] = tel_idle_polls_[w].value();
+    dropped0[w] = tel_dropped_[w].value();
+  }
+  const std::uint64_t stalls0 = tel_producer_stalls_.value();
+  std::vector<std::uint64_t> pub0(n, 0), pub_skip0(n, 0);
+  for (unsigned w = 0; w < n; ++w) {
+    if (const auto* p = engines_[w]->view_publisher()) {
+      pub0[w] = p->publishes();
+      pub_skip0[w] = p->skipped_publishes();
+    }
+  }
+  std::uint64_t shared_pub0 = 0, shared_pub_skip0 = 0;
+  if (shared_publisher_) {
+    shared_pub0 = shared_publisher_->publishes();
+    shared_pub_skip0 = shared_publisher_->skipped_publishes();
+  }
+  std::vector<std::uint64_t> local_packets(n, 0), local_busy(n, 0),
+      local_idle(n, 0), local_dropped(n, 0);
+  std::uint64_t local_stalls = 0;
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned w = 0; w < n; ++w) {
+    workers.emplace_back([&, w] {
+      auto& queue = *queues[w];
+      auto& engine = *engines_[w];
+      auto& tel_packets = tel_worker_packets_[w];
+      auto& tel_busy = tel_busy_polls_[w];
+      auto& tel_idle = tel_idle_polls_[w];
+      std::array<netio::PacketRecord, 64> burst;
+      telemetry::TraceRecorder* const trace = config_.trace;
+      const auto process_burst = [&](std::size_t count) {
+        if constexpr (telemetry::kEnabled) {
+          if (trace) {
+            trace->emit(w, telemetry::TraceEventKind::kBatchBegin, 0,
+                        static_cast<double>(count));
+          }
+        }
+        if (config_.batched) {
+          engine.process_batch(
+              std::span<const netio::PacketRecord>{burst.data(), count});
+        } else {
+          for (std::size_t i = 0; i < count; ++i) engine.process(burst[i]);
+        }
+        if constexpr (telemetry::kEnabled) {
+          if (trace) {
+            trace->emit(w, telemetry::TraceEventKind::kBatchEnd, 0,
+                        static_cast<double>(count));
+          }
+        }
+      };
+      for (;;) {
+        if (const auto got = queue.try_pop_burst(std::span{burst});
+            got != 0) {
+          process_burst(got);
+          tel_packets.inc(got);
+          tel_busy.inc(got);
+          if constexpr (!telemetry::kEnabled) {
+            local_packets[w] += got;
+            local_busy[w] += got;
+          }
+        } else if (done.load(std::memory_order_acquire)) {
+          while (const auto tail = queue.try_pop_burst(std::span{burst})) {
+            process_burst(tail);
+            tel_packets.inc(tail);
+            tel_busy.inc(tail);
+            if constexpr (!telemetry::kEnabled) {
+              local_packets[w] += tail;
+              local_busy[w] += tail;
+            }
+          }
+          engine.publish_view_now();
+          engine.audit_final_sweep();
+          break;
+        } else {
+          tel_idle.inc();
+          if constexpr (!telemetry::kEnabled) ++local_idle[w];
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Manager: pull bursts, dispatch per record. Baseline the source's own
+  // accounting so a reused source reports this run's deltas only.
+  const netio::SourceStats io0 = source.stats();
+  auto& fault_queue_full = resilience::faultpoint("runtime.queue_full");
+  const auto try_push = [&](SpscQueue<netio::PacketRecord>& queue,
+                            const netio::PacketRecord& rec) {
+    if (fault_queue_full.fire()) return false;
+    return queue.try_push(rec);
+  };
+  const auto note_stall = [&](unsigned w, std::size_t depth) {
+    tel_producer_stalls_.inc();
+    if constexpr (telemetry::kEnabled) {
+      if (config_.trace) {
+        config_.trace->emit(n, telemetry::TraceEventKind::kQueueStall, 0,
+                            static_cast<double>(depth), w);
+      }
+    } else {
+      ++local_stalls;
+    }
+  };
+
+  std::array<netio::PacketRecord, 256> burst;
+  std::uint64_t delivered = 0;
+  const bool timed = config.max_seconds > 0;
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      timed ? config.max_seconds : 0.0));
+  for (;;) {
+    if (config.max_packets != 0 && delivered >= config.max_packets) break;
+    if (timed && std::chrono::steady_clock::now() >= deadline) break;
+    std::size_t want = burst.size();
+    if (config.max_packets != 0) {
+      want = static_cast<std::size_t>(std::min<std::uint64_t>(
+          want, config.max_packets - delivered));
+    }
+    const auto got = source.next_burst(std::span{burst.data(), want});
+    if (got == 0) {
+      if (source.exhausted() &&
+          (config.stop_on_exhausted ||
+           (!timed && config.max_packets == 0))) {
+        break;
+      }
+      // Live port between bursts (the source bounded its own wait), or a
+      // paced replay ahead of schedule: try again within our budget.
+      continue;
+    }
+    delivered += got;
+    tel_io_received_.inc(got);
+    tel_io_bursts_.inc();
+    if constexpr (telemetry::kEnabled) {
+      if (config_.trace) {
+        const auto drops = source.stats().dropped;
+        config_.trace->emit(
+            n, telemetry::TraceEventKind::kIoBurst, 0,
+            static_cast<double>(got),
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                drops, std::numeric_limits<std::uint32_t>::max())));
+      }
+    }
+    for (std::size_t i = 0; i < got; ++i) {
+      const auto& rec = burst[i];
+      const unsigned w = worker_of(rec.key);
+      auto& queue = *queues[w];
+      const auto depth = queue.size_approx();
+      if (depth > stats.max_queue_depth[w]) {
+        stats.max_queue_depth[w] = depth;
+        tel_queue_depth_max_[w].set(static_cast<double>(depth));
+      }
+      if (ov.policy == OverloadPolicy::kBlock) {
+        while (!try_push(queue, rec)) {
+          note_stall(w, queue.size_approx());
+          std::this_thread::yield();
+        }
+      } else {  // kDropTail
+        bool pushed = false;
+        for (unsigned r = 0; r <= ov.full_queue_retries; ++r) {
+          if (try_push(queue, rec)) {
+            pushed = true;
+            break;
+          }
+          note_stall(w, queue.size_approx());
+          std::this_thread::yield();
+        }
+        if (!pushed) {
+          tel_dropped_[w].inc();
+          if constexpr (!telemetry::kEnabled) ++local_dropped[w];
+        }
+      }
+    }
+    if (shared_publisher_) {
+      shared_publisher_->maybe_publish(*shared_,
+                                       burst[got - 1].timestamp_ns);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  // Capture-plane accounting: this run's source deltas.
+  const netio::SourceStats io1 = source.stats();
+  stats.packets = delivered;
+  stats.io_kernel_dropped = io1.dropped - io0.dropped;
+  stats.io_skipped = io1.skipped - io0.skipped;
+  stats.io_fragments = io1.fragments - io0.fragments;
+  stats.io_truncated = io1.truncated - io0.truncated;
+  stats.io_wait_cycles = io1.wait_cycles - io0.wait_cycles;
+  tel_io_kernel_dropped_.inc(stats.io_kernel_dropped);
+  tel_io_skipped_.inc(stats.io_skipped);
+  tel_io_fragments_.inc(stats.io_fragments);
+  tel_io_truncated_.inc(stats.io_truncated);
+  tel_io_wait_cycles_.inc(stats.io_wait_cycles);
+
+  stats.wall_seconds = std::chrono::duration<double>(end - start).count();
+  int peak = 0;
+  for (unsigned w = 0; w < n; ++w) {
+    peak = std::max(peak, static_cast<int>(engines_[w]->pressure().level));
+  }
+  stats.wsaf_pressure_peak = peak;
+  tel_wsaf_pressure_.set(static_cast<double>(peak));
+  for (unsigned w = 0; w < n; ++w) {
+    if (const auto* p = engines_[w]->view_publisher()) {
+      stats.views_published += p->publishes() - pub0[w];
+      stats.view_publishes_skipped += p->skipped_publishes() - pub_skip0[w];
+    }
+  }
+  if (shared_publisher_) {
+    shared_publisher_->publish_now(*shared_, shared_->latest_ns());
+    stats.views_published += shared_publisher_->publishes() - shared_pub0;
+    stats.view_publishes_skipped +=
+        shared_publisher_->skipped_publishes() - shared_pub_skip0;
+  }
+
+  if constexpr (telemetry::kEnabled) {
+    stats.producer_stalls = tel_producer_stalls_.value() - stalls0;
+    for (unsigned w = 0; w < n; ++w) {
+      stats.per_worker_packets[w] =
+          tel_worker_packets_[w].value() - packets0[w];
+      stats.per_worker_dropped[w] = tel_dropped_[w].value() - dropped0[w];
+      stats.dropped += stats.per_worker_dropped[w];
+      const auto busy = tel_busy_polls_[w].value() - busy0[w];
+      const auto idle = tel_idle_polls_[w].value() - idle0[w];
+      const auto total = busy + idle;
+      stats.worker_busy_fraction[w] =
+          total ? static_cast<double>(busy) / static_cast<double>(total)
+                : 0.0;
+    }
+  } else {
+    stats.producer_stalls = local_stalls;
+    for (unsigned w = 0; w < n; ++w) {
+      stats.per_worker_packets[w] = local_packets[w];
+      stats.per_worker_dropped[w] = local_dropped[w];
+      stats.dropped += local_dropped[w];
+      const auto total = local_busy[w] + local_idle[w];
+      stats.worker_busy_fraction[w] =
+          total ? static_cast<double>(local_busy[w]) /
+                      static_cast<double>(total)
+                : 0.0;
+    }
+  }
+  for (unsigned w = 0; w < n; ++w) {
+    stats.processed += stats.per_worker_packets[w];
+  }
+  stats.mpps = stats.wall_seconds > 0
+                   ? static_cast<double>(stats.processed) /
+                         stats.wall_seconds / 1e6
+                   : 0.0;
+  tel_runs_.inc();
+  tel_io_mpps_.set(stats.mpps);
   tel_wall_seconds_.add(stats.wall_seconds);
   return stats;
 }

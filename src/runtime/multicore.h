@@ -29,6 +29,7 @@
 #include "core/instameasure.h"
 #include "core/query_engine.h"
 #include "core/wsaf_shared.h"
+#include "netio/source.h"
 #include "runtime/spsc_queue.h"
 #include "telemetry/metrics.h"
 #include "trace/trace.h"
@@ -159,6 +160,26 @@ struct RunStats {
   std::vector<std::uint64_t> per_worker_steals;    ///< steals FROM this home queue
   std::vector<std::size_t> max_queue_depth;
   std::vector<double> worker_busy_fraction;  ///< busy polls / total polls
+  // Source-driven mode only (run_source): the capture plane's accounting.
+  // `packets` above is then the records the source DELIVERED; the port may
+  // have seen more — io_kernel_dropped (ring overruns) and io_skipped
+  // (undecodable frames) make that explicit.
+  std::string source;                    ///< "replay" | "pcap" | "afpacket"
+  std::uint64_t io_kernel_dropped = 0;   ///< lost before delivery (ring full)
+  std::uint64_t io_skipped = 0;          ///< frames seen but not decodable
+  std::uint64_t io_fragments = 0;        ///< port-0 fragment continuations
+  std::uint64_t io_truncated = 0;        ///< clamped-total-length records
+  std::uint64_t io_wait_cycles = 0;      ///< empty source polls
+};
+
+/// Bounds for a source-driven run (run_source). Zero means unlimited; a
+/// live capture needs at least one bound or an external stop.
+struct SourceRunConfig {
+  std::uint64_t max_packets = 0;  ///< stop after this many delivered records
+  double max_seconds = 0;         ///< wall-clock budget for the whole run
+  /// Stop once the source reports exhausted() (file/replay end). Turn off
+  /// to keep polling a live port for the full max_seconds.
+  bool stop_on_exhausted = true;
 };
 
 class MultiCoreEngine {
@@ -180,6 +201,22 @@ class MultiCoreEngine {
   /// Blocks until every admitted packet is processed; returns timing and
   /// overload-accounting statistics.
   RunStats run(const trace::Trace& trace, double pace_pps = 0);
+
+  /// Source-driven ingest: pull bursts from any netio::PacketSource (live
+  /// AF_PACKET ring, streaming pcap, paced replay) and dispatch them to
+  /// the workers with NO intermediate PacketVector — records are copied
+  /// once, into the worker rings. Supports the kBlock and kDropTail
+  /// overload policies (kShed's ladder assumes an offered-count known up
+  /// front and throws std::invalid_argument here). Blocks until the
+  /// configured bound is hit or the source is exhausted; RunStats then
+  /// carries the io_* capture accounting beside the usual fields, with
+  ///   offered(delivered) == processed + dropped
+  /// exact, and kernel drops/skips reported separately.
+  RunStats run_source(netio::PacketSource& source,
+                      const SourceRunConfig& config);
+  RunStats run_source(netio::PacketSource& source) {
+    return run_source(source, SourceRunConfig{});
+  }
 
   /// Worker index a key routes to, per the configured dispatch policy.
   [[nodiscard]] unsigned worker_of(const netio::FlowKey& key) const noexcept {
@@ -265,6 +302,15 @@ class MultiCoreEngine {
   telemetry::Gauge tel_mpps_;
   telemetry::Gauge tel_wall_seconds_;
   telemetry::Gauge tel_wsaf_pressure_;
+  // Capture-plane series (run_source), all manager-written.
+  telemetry::Counter tel_io_received_;
+  telemetry::Counter tel_io_kernel_dropped_;
+  telemetry::Counter tel_io_skipped_;
+  telemetry::Counter tel_io_fragments_;
+  telemetry::Counter tel_io_truncated_;
+  telemetry::Counter tel_io_bursts_;
+  telemetry::Counter tel_io_wait_cycles_;
+  telemetry::Gauge tel_io_mpps_;
 };
 
 }  // namespace instameasure::runtime

@@ -66,6 +66,9 @@ enum class TraceEventKind : std::uint8_t {
                       ///< 3=migrate stall)
   kWorkSteal,         ///< runtime: dispatch redirected to an idler worker
                       ///< (payload=home queue depth, aux=home | victim<<8)
+  kIoBurst,           ///< netio: one PacketSource burst dispatched
+                      ///< (payload=records in burst, aux=kernel drops seen
+                      ///< so far, saturating at 2^32-1)
   kKindCount
 };
 
@@ -102,6 +105,7 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kAudit: return "audit";
     case TraceEventKind::kWsafResize: return "wsaf_resize";
     case TraceEventKind::kWorkSteal: return "work_steal";
+    case TraceEventKind::kIoBurst: return "io_burst";
     case TraceEventKind::kKindCount: break;
   }
   return "?";
@@ -131,6 +135,7 @@ inline constexpr std::uint64_t kAllTraceKinds =
     case TraceEventKind::kAudit: return "audit";
     case TraceEventKind::kWsafResize: return "wsaf";
     case TraceEventKind::kWorkSteal: return "runtime";
+    case TraceEventKind::kIoBurst: return "io";
     case TraceEventKind::kKindCount: break;
   }
   return "?";

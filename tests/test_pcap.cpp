@@ -148,6 +148,88 @@ TEST_F(PcapTest, MicrosecondMagicSupported) {
   EXPECT_EQ(rec->key.src_ip, 9u);
 }
 
+// --- timestamp-fraction validation (bugfix) ------------------------------
+//
+// The fraction field was trusted verbatim: a corrupt usec value of e.g.
+// 3e9 silently added three extra seconds to the timestamp, deranging every
+// window downstream. Out-of-range fractions now throw.
+
+namespace {
+
+/// Hand-write a one-packet savefile with an arbitrary fraction field.
+void write_with_fraction(const std::string& path, std::uint32_t magic,
+                         std::uint32_t frac) {
+  std::ofstream out{path, std::ios::binary};
+  auto w32 = [&](std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), 4);
+  };
+  auto w16 = [&](std::uint16_t v) {
+    out.write(reinterpret_cast<const char*>(&v), 2);
+  };
+  w32(magic);
+  w16(2);
+  w16(4);
+  w32(0);
+  w32(0);
+  w32(65535);
+  w32(kLinkTypeEthernet);
+  const auto frame = encode_frame(
+      FlowKey{9, 8, 7, 6, static_cast<std::uint8_t>(IpProto::kUdp)}, 4);
+  w32(3);  // ts_sec
+  w32(frac);
+  w32(static_cast<std::uint32_t>(frame.size()));
+  w32(static_cast<std::uint32_t>(frame.size()));
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+}
+
+}  // namespace
+
+TEST_F(PcapTest, MicrosecondFractionOverflowThrows) {
+  write_with_fraction(path_, kPcapMagicUsec, 1'000'000);  // == 1 s in usec
+  PcapReader reader{path_};
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, NanosecondFractionOverflowThrows) {
+  write_with_fraction(path_, kPcapMagicNsec, 1'000'000'000);
+  PcapReader reader{path_};
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, MaximumValidFractionAccepted) {
+  write_with_fraction(path_, kPcapMagicUsec, 999'999);
+  PcapReader reader{path_};
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->timestamp_ns, 3'999'999'000ULL);
+}
+
+TEST_F(PcapTest, ReaderCountsFragmentAndTruncatedRepairs) {
+  {
+    PcapWriter writer{path_};
+    auto frag = encode_frame(
+        FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kTcp)}, 64);
+    frag[kEthHeaderLen + 6] = std::byte{0x00};
+    frag[kEthHeaderLen + 7] = std::byte{0x10};  // fragment offset 16
+    writer.write(0, frag, static_cast<std::uint32_t>(frag.size()));
+    auto liar = encode_frame(
+        FlowKey{1, 2, 3, 4, static_cast<std::uint8_t>(IpProto::kUdp)}, 64);
+    liar[kEthHeaderLen + 2] = std::byte{0xff};  // total length 0xffff
+    liar[kEthHeaderLen + 3] = std::byte{0xff};
+    writer.write(1, liar, static_cast<std::uint32_t>(liar.size()));
+  }
+  PcapReader reader{path_};
+  const auto first = reader.next_record();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->key.src_port, 0);
+  const auto second = reader.next_record();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(reader.fragments(), 1u);
+  EXPECT_EQ(reader.truncated(), 1u);
+  EXPECT_EQ(reader.skipped(), 0u);
+}
+
 TEST_F(PcapTest, SnaplenTruncatesCaptureButKeepsOrigLen) {
   {
     PcapWriter writer{path_, /*snaplen=*/64};

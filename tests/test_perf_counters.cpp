@@ -294,10 +294,12 @@ TEST(Trajectory, ValidatorRejectsGarbage) {
                                                   &err));
   auto doc = analysis::build_trajectory_json(
       fake_meta(), std::vector<analysis::TrajectoryRun>{});
-  const auto pos = doc.find("\"schema_version\": 2");
+  const std::string version_field =
+      "\"schema_version\": " +
+      std::to_string(analysis::kTrajectorySchemaVersion);
+  const auto pos = doc.find(version_field);
   ASSERT_NE(pos, std::string::npos);
-  doc.replace(pos, std::string{"\"schema_version\": 2"}.size(),
-              "\"schema_version\": 999");
+  doc.replace(pos, version_field.size(), "\"schema_version\": 999");
   EXPECT_FALSE(analysis::validate_trajectory_json(doc, &err));
 }
 
